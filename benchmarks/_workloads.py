@@ -1,0 +1,55 @@
+"""Shared workload construction for the figure benches.
+
+Sizes are the paper's setup scaled to pure Python (DESIGN.md §5); set the
+environment variable ``REPRO_BENCH_SCALE`` (e.g. ``0.5``) to shrink or grow
+every window proportionally.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+from repro.common.config import WindowSpec
+from repro.datasets.maze import maze_stream
+from repro.datasets.registry import DATASETS
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+# The four real-dataset simulators of the baseline evaluation, in the
+# paper's order.
+DATASET_KEYS = ("dtg", "geolife", "covid", "iris")
+
+# Paper Figure 4 x-axis: stride as a fraction of the window.
+STRIDE_RATIOS = (0.001, 0.01, 0.05, 0.10, 0.25)
+
+
+def scaled(n: int) -> int:
+    """Apply the global bench scale, keeping values sane."""
+    return max(40, int(n * SCALE))
+
+
+def spec_for(window: int, ratio: float) -> WindowSpec:
+    """Window spec at a stride ratio, snapped so stride divides window."""
+    stride = max(1, int(round(window * ratio)))
+    while window % stride != 0:
+        stride -= 1
+    return WindowSpec(window=window, stride=stride)
+
+
+@lru_cache(maxsize=None)
+def dataset_stream(key: str, n_points: int, seed: int = 0):
+    """Deterministic, cached stream for a registry dataset."""
+    return tuple(DATASETS[key].load(n_points, seed=seed))
+
+
+@lru_cache(maxsize=None)
+def maze_with_truth(n_points: int, seed: int = 0):
+    """Deterministic, cached Maze stream plus ground-truth labels."""
+    points, truth = maze_stream(n_points, seed=seed)
+    return tuple(points), truth
+
+
+def stream_length(spec: WindowSpec, n_measured: int) -> int:
+    """Points needed for one prefill plus the measured strides."""
+    return spec.window + n_measured * spec.stride

@@ -1,0 +1,137 @@
+"""Ablations beyond the paper: substrate choices this reproduction makes.
+
+Two design choices DESIGN.md calls out get their own measurements:
+
+1. **Index substrate.** The paper fixes an R-tree; DISC here runs on any
+   index with the shared interface. This bench compares DISC-on-R-tree,
+   DISC-on-grid (eps-tuned cell grid; epoch probing off since grids have no
+   epochs) and DISC-on-linear-scan, quantifying how much of the method
+   comparisons is index constants (the (S1) effect discussed in
+   EXPERIMENTS.md).
+
+2. **Bulk loading.** Windows are prefilled constantly in benchmarks; STR
+   bulk loading should build a better tree, faster, than repeated insertion.
+"""
+
+import time
+
+from _workloads import dataset_stream, scaled, spec_for, stream_length
+
+from repro.bench.harness import measure_method
+from repro.bench.reporting import Table, write_result
+from repro.core.disc import DISC
+from repro.datasets.registry import DATASETS
+from repro.index.grid import GridIndex
+from repro.index.linear import LinearScanIndex
+from repro.index.rtree import RTree
+
+
+def run_index_ablation():
+    table = Table(
+        "Ablation: DISC per-stride latency by index substrate (5% stride)",
+        ["Dataset", "R-tree ms", "grid ms", "linear ms"],
+    )
+    shape = {}
+    for key in ("dtg", "geolife"):
+        info = DATASETS[key]
+        window = scaled(info.window)
+        spec = spec_for(window, 0.05)
+        points = list(dataset_stream(key, stream_length(spec, 10)))
+        row = {}
+        variants = (
+            ("R-tree", DISC(info.eps, info.tau)),
+            (
+                "grid",
+                DISC(
+                    info.eps,
+                    info.tau,
+                    index_factory=lambda e=info.eps, d=info.dim: GridIndex(e, d),
+                    epoch_probing=False,
+                ),
+            ),
+            (
+                "linear",
+                DISC(info.eps, info.tau, index_factory=LinearScanIndex),
+            ),
+        )
+        for name, method in variants:
+            result = measure_method(method, points, spec, n_measured=8)
+            row[name] = result["mean_stride_s"] * 1000
+        shape[key] = row
+        table.add(
+            info.name,
+            f"{row['R-tree']:.1f}",
+            f"{row['grid']:.1f}",
+            f"{row['linear']:.1f}",
+        )
+    return table, shape
+
+
+def run_bulk_ablation():
+    table = Table(
+        "Ablation: R-tree construction, STR bulk load vs repeated insertion",
+        ["Dataset", "points", "bulk ms", "insert ms", "bulk probe ms", "insert probe ms"],
+    )
+    shape = {}
+    for key in ("dtg", "iris"):
+        info = DATASETS[key]
+        n = scaled(info.window)
+        points = [(p.pid, p.coords) for p in dataset_stream(key, n)]
+
+        start = time.perf_counter()
+        bulk = RTree.bulk_load(points)
+        bulk_ms = (time.perf_counter() - start) * 1000
+
+        start = time.perf_counter()
+        grown = RTree()
+        for pid, coords in points:
+            grown.insert(pid, coords)
+        insert_ms = (time.perf_counter() - start) * 1000
+
+        def probe_time(tree):
+            start = time.perf_counter()
+            for pid, coords in points[:: max(1, n // 200)]:
+                tree.ball(coords, info.eps)
+            return (time.perf_counter() - start) * 1000
+
+        bulk_probe = probe_time(bulk)
+        grown_probe = probe_time(grown)
+        shape[key] = (bulk_ms, insert_ms, bulk_probe, grown_probe)
+        table.add(
+            info.name,
+            n,
+            f"{bulk_ms:.1f}",
+            f"{insert_ms:.1f}",
+            f"{bulk_probe:.1f}",
+            f"{grown_probe:.1f}",
+        )
+    return table, shape
+
+
+def test_ablation_index_substrate(benchmark):
+    table, shape = benchmark.pedantic(run_index_ablation, rounds=1, iterations=1)
+    write_result("ablation_index_substrate", table.to_text())
+    for key, row in shape.items():
+        # In 2D the grid beats the R-tree at its tuned radius (the S1
+        # constant-factor effect); in 3D its 125-cell stencil erodes the
+        # advantage, so the assertion only bounds the gap. Exact results are
+        # identical regardless (covered by the test suite).
+        assert row["grid"] < row["R-tree"] * 2.0, (
+            f"{key}: grid substrate unexpectedly slow"
+        )
+        assert row["linear"] > row["R-tree"], (
+            f"{key}: linear scan unexpectedly beat the R-tree"
+        )
+
+
+def test_ablation_bulk_load(benchmark):
+    table, shape = benchmark.pedantic(run_bulk_ablation, rounds=1, iterations=1)
+    write_result("ablation_bulk_load", table.to_text())
+    for key, (bulk_ms, insert_ms, bulk_probe, grown_probe) in shape.items():
+        assert bulk_ms < insert_ms, f"{key}: bulk load slower than insertion"
+        # Construction is the headline win (typically >50x). Probe quality is
+        # usually on par; in 4D the STR slab tiling can trail the quadratic
+        # split a little, so allow slack.
+        assert bulk_probe <= grown_probe * 2.0, (
+            f"{key}: bulk-loaded tree probes much slower"
+        )

@@ -1,0 +1,136 @@
+"""Figure 12 — illustration of clusters found in Maze and DTG.
+
+The paper shows scatter plots; this textual stand-in reports, per method, the
+quantities that make those pictures differ: number of clusters found, ARI
+against the reference labelling, noise fraction, and the size of the largest
+cluster. Paper shape: only DISC (and rho2, omitted in the paper's figure for
+being identical) recovers the reference structure; EDMStream and DBSTREAM
+either shatter trajectories into fragments or glue neighbouring ones
+together.
+"""
+
+from _workloads import dataset_stream, maze_with_truth, scaled, spec_for, stream_length
+
+from repro.baselines import DBStream, EDMStream, SlidingDBSCAN
+from repro.bench.harness import measure_method, window_ari
+from repro.bench.reporting import Table, write_result
+from repro.core.disc import DISC
+from repro.datasets.registry import DATASETS
+
+N_MEASURED = 6
+
+
+def summarize(method, truth, window_pids):
+    snapshot = method.snapshot()
+    ari = window_ari(method, truth, window_pids)
+    clusters = snapshot.clusters()
+    largest = max((len(members) for members in clusters.values()), default=0)
+    labelled = sum(len(members) for members in clusters.values())
+    noise = 1.0 - labelled / max(1, len(window_pids))
+    return {
+        "ari": ari,
+        "clusters": len(clusters),
+        "largest": largest,
+        "noise": noise,
+    }
+
+
+def run_figure12():
+    tables = []
+    shapes = {}
+    renders = []
+    for label, key in (("Maze", "maze"), ("DTG", "dtg")):
+        info = DATASETS[key]
+        window = scaled(info.window)
+        spec = spec_for(window, 0.05)
+        length = stream_length(spec, N_MEASURED)
+        if key == "maze":
+            points, truth_all = maze_with_truth(length)
+            points = list(points)
+            window_pids = [sp.pid for sp in points[N_MEASURED * spec.stride :]]
+            truth = {pid: truth_all[pid] for pid in window_pids}
+            ref_clusters = len(set(truth.values()))
+        else:
+            points = list(dataset_stream(key, length))
+            final_window = points[N_MEASURED * spec.stride :]
+            window_pids = [sp.pid for sp in final_window]
+            reference = SlidingDBSCAN(info.eps, info.tau)
+            reference.advance(final_window, ())
+            snapshot = reference.snapshot()
+            truth = {pid: snapshot.label_of(pid) for pid in window_pids}
+            ref_clusters = snapshot.num_clusters
+        fade = 0.5 / window
+        methods = (
+            ("DISC", DISC(info.eps, info.tau)),
+            ("EDMSTREAM", EDMStream(radius=info.eps, dim=info.dim, fade=fade)),
+            (
+                "DBSTREAM",
+                DBStream(
+                    radius=1.5 * info.eps,
+                    dim=info.dim,
+                    fade=fade,
+                    alpha=0.1,
+                    weak_threshold=0.5,
+                    gap=500,
+                ),
+            ),
+        )
+        table = Table(
+            f"Figure 12 ({label}): cluster structure recovered per method "
+            f"(reference: {ref_clusters} clusters)",
+            ["Method", "ARI", "clusters", "largest", "noise%"],
+        )
+        rows = {}
+        for name, method in methods:
+            measure_method(method, points, spec, n_measured=N_MEASURED)
+            stats = summarize(method, truth, window_pids)
+            rows[name] = stats
+            table.add(
+                name,
+                f"{stats['ari']:.3f}",
+                stats["clusters"],
+                stats["largest"],
+                f"{stats['noise']:.0%}",
+            )
+        shapes[label] = (rows, ref_clusters)
+        tables.append(table.to_text())
+        # The actual "illustration": ASCII scatter plots per method.
+        from repro.viz import render_comparison
+
+        window_coords = {
+            pid: coords
+            for pid, coords in (
+                (p.pid, p.coords) for p in points[N_MEASURED * spec.stride :]
+            )
+        }
+        renders.append(
+            f"=== {label} window, clusters by method ===\n"
+            + render_comparison(
+                {name: method.snapshot() for name, method in methods},
+                window_coords,
+                width=76,
+                height=20,
+            )
+        )
+    return tables, shapes, renders
+
+
+def test_fig12_cluster_shapes(benchmark):
+    tables, shapes, renders = benchmark.pedantic(
+        run_figure12, rounds=1, iterations=1
+    )
+    write_result(
+        "fig12_cluster_shapes", "\n\n".join(tables) + "\n\n" + "\n\n".join(renders)
+    )
+    for label, (rows, ref_clusters) in shapes.items():
+        assert rows["DISC"]["ari"] > rows["EDMSTREAM"]["ari"], (
+            f"{label}: DISC did not beat EDMStream on structure recovery"
+        )
+        assert rows["DISC"]["ari"] > rows["DBSTREAM"]["ari"], (
+            f"{label}: DISC did not beat DBSTREAM on structure recovery"
+        )
+        # DISC's cluster count lands in the right ballpark of the reference.
+        assert 0.5 * ref_clusters <= rows["DISC"]["clusters"] <= 2.0 * ref_clusters, (
+            f"{label}: DISC found {rows['DISC']['clusters']} clusters vs "
+            f"reference {ref_clusters}"
+        )

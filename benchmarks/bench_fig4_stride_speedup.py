@@ -1,0 +1,95 @@
+"""Figure 4 — relative speedup over DBSCAN with a varying size of stride.
+
+For each dataset simulator and each stride-to-window ratio, the bench
+measures steady-state per-stride latency of DISC, IncDBSCAN and EXTRA-N and
+reports it as a speedup over from-scratch DBSCAN (whose per-stride cost is
+stride-independent and therefore measured once per dataset).
+
+Paper shape being reproduced: incremental methods beat DBSCAN for small
+strides and the advantage grows as the stride shrinks; DISC is the best
+exact method for strides <= 10% of the window; at a 25% stride incremental
+maintenance no longer clearly pays.
+"""
+
+from _workloads import (
+    DATASET_KEYS,
+    STRIDE_RATIOS,
+    dataset_stream,
+    scaled,
+    spec_for,
+    stream_length,
+)
+
+from repro.baselines import ExtraN, IncrementalDBSCAN, SlidingDBSCAN
+from repro.bench.harness import default_measured_strides, measure_method
+from repro.bench.reporting import Table, write_result
+from repro.core.disc import DISC
+from repro.datasets.registry import DATASETS
+
+
+def run_figure4():
+    table = Table(
+        "Figure 4: speedup over DBSCAN vs stride ratio (per-stride latency)",
+        ["Dataset", "stride", "DBSCAN ms", "DISC x", "IncDBSCAN x", "EXTRA-N x"],
+    )
+    shape = {}
+    for key in DATASET_KEYS:
+        info = DATASETS[key]
+        window = scaled(info.window)
+        base_spec = spec_for(window, 0.05)
+        points = list(
+            dataset_stream(
+                key, stream_length(base_spec, 60) + window
+            )
+        )
+        dbscan = measure_method(
+            SlidingDBSCAN(info.eps, info.tau), points, base_spec, n_measured=3
+        )
+        base_ms = dbscan["mean_stride_s"] * 1000
+        shape[key] = {}
+        for ratio in STRIDE_RATIOS:
+            spec = spec_for(window, ratio)
+            n_measured = default_measured_strides(spec)
+            speedups = {}
+            for name, method in (
+                ("DISC", DISC(info.eps, info.tau)),
+                ("IncDBSCAN", IncrementalDBSCAN(info.eps, info.tau)),
+                ("EXTRA-N", ExtraN(info.eps, info.tau, spec)),
+            ):
+                result = measure_method(method, points, spec, n_measured)
+                speedups[name] = dbscan["mean_stride_s"] / result["mean_stride_s"]
+            table.add(
+                info.name,
+                f"{spec.stride} ({spec.stride_ratio:.1%})",
+                f"{base_ms:.1f}",
+                *(f"{speedups[n]:.2f}" for n in ("DISC", "IncDBSCAN", "EXTRA-N")),
+            )
+            shape[key][ratio] = speedups
+    return table, shape
+
+
+def test_fig4_stride_speedup(benchmark):
+    table, shape = benchmark.pedantic(run_figure4, rounds=1, iterations=1)
+    lines = [table.to_text(), ""]
+    for key, by_ratio in shape.items():
+        small = by_ratio[min(by_ratio)]
+        lines.append(
+            f"paper-shape {key}: at the smallest stride DISC speedup "
+            f"{small['DISC']:.2f}x vs IncDBSCAN {small['IncDBSCAN']:.2f}x"
+        )
+    write_result("fig4_stride_speedup", "\n".join(lines))
+    for key, by_ratio in shape.items():
+        for ratio, speedups in by_ratio.items():
+            if ratio <= 0.05:
+                assert speedups["DISC"] > 1.0, (
+                    f"{key}@{ratio}: DISC did not beat DBSCAN "
+                    f"({speedups['DISC']:.2f}x)"
+                )
+        # DISC is at least competitive with IncDBSCAN at small strides, and
+        # its speedup over DBSCAN grows as the stride shrinks.
+        assert (
+            by_ratio[0.001]["DISC"] >= by_ratio[0.25]["DISC"]
+        ), f"{key}: DISC speedup did not grow as the stride shrank"
+        assert by_ratio[0.05]["DISC"] >= 0.85 * by_ratio[0.05]["IncDBSCAN"], (
+            f"{key}@5%: DISC clearly lost to IncDBSCAN"
+        )

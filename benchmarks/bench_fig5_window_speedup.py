@@ -1,0 +1,93 @@
+"""Figure 5 — relative speedup over DBSCAN with a varying size of window.
+
+Stride fixed at 5% of each window. The paper's EXTRA-N result — memory and
+maintenance that balloon with the window until it stops being viable — shows
+up here through its bookkeeping-cell count, reported alongside the speedups.
+"""
+
+from _workloads import DATASET_KEYS, dataset_stream, scaled, spec_for, stream_length
+
+from repro.baselines import ExtraN, IncrementalDBSCAN, SlidingDBSCAN
+from repro.bench.harness import measure_method
+from repro.bench.reporting import Table, write_result
+from repro.core.disc import DISC
+from repro.datasets.registry import DATASETS
+
+WINDOW_FACTORS = (0.25, 0.5, 1.0, 2.0)
+
+
+def run_figure5():
+    table = Table(
+        "Figure 5: speedup over DBSCAN vs window size (stride = 5% of window)",
+        [
+            "Dataset",
+            "window",
+            "DBSCAN ms",
+            "DISC x",
+            "IncDBSCAN x",
+            "EXTRA-N x",
+            "EXTRA-N cells",
+        ],
+    )
+    shape = {}
+    for key in DATASET_KEYS:
+        info = DATASETS[key]
+        shape[key] = {}
+        for factor in WINDOW_FACTORS:
+            window = scaled(int(info.window * factor))
+            spec = spec_for(window, 0.05)
+            points = list(dataset_stream(key, stream_length(spec, 12)))
+            dbscan = measure_method(
+                SlidingDBSCAN(info.eps, info.tau), points, spec, n_measured=3
+            )
+            row = {}
+            extran = ExtraN(info.eps, info.tau, spec)
+            for name, method in (
+                ("DISC", DISC(info.eps, info.tau)),
+                ("IncDBSCAN", IncrementalDBSCAN(info.eps, info.tau)),
+                ("EXTRA-N", extran),
+            ):
+                result = measure_method(method, points, spec)
+                row[name] = dbscan["mean_stride_s"] / result["mean_stride_s"]
+            cells = extran.memory_cells()
+            table.add(
+                info.name,
+                window,
+                f"{dbscan['mean_stride_s'] * 1000:.1f}",
+                f"{row['DISC']:.2f}",
+                f"{row['IncDBSCAN']:.2f}",
+                f"{row['EXTRA-N']:.2f}",
+                cells,
+            )
+            shape[key][window] = (row, cells)
+    return table, shape
+
+
+def test_fig5_window_speedup(benchmark):
+    table, shape = benchmark.pedantic(run_figure5, rounds=1, iterations=1)
+    lines = [table.to_text(), ""]
+    for key, by_window in shape.items():
+        windows = sorted(by_window)
+        small_cells = by_window[windows[0]][1]
+        large_cells = by_window[windows[-1]][1]
+        lines.append(
+            f"paper-shape {key}: EXTRA-N bookkeeping grows "
+            f"{small_cells} -> {large_cells} cells "
+            f"({large_cells / max(1, small_cells):.1f}x) as the window grows "
+            f"{windows[0]} -> {windows[-1]}"
+        )
+    write_result("fig5_window_speedup", "\n".join(lines))
+    for key, by_window in shape.items():
+        windows = sorted(by_window)
+        for window in windows:
+            row, _ = by_window[window]
+            assert row["DISC"] > 1.0, (
+                f"{key}@{window}: DISC did not beat DBSCAN ({row['DISC']:.2f}x)"
+            )
+        # EXTRA-N's memory footprint grows superlinearly-ish with the window.
+        small_cells = by_window[windows[0]][1]
+        large_cells = by_window[windows[-1]][1]
+        window_growth = windows[-1] / windows[0]
+        assert large_cells > small_cells * window_growth * 0.8, (
+            f"{key}: EXTRA-N memory did not scale with the window"
+        )

@@ -1,0 +1,99 @@
+"""Figure 6 — effects of the distance (eps) and density (tau) thresholds.
+
+DTG simulator, stride fixed at 5% of the window. Reproduced shapes: elapsed
+times of all incremental methods grow with eps (bigger neighbourhoods) and
+shrink as tau grows (fewer cores); the tau effect is the milder of the two;
+DISC stays the most stable across the spectrum.
+"""
+
+from _workloads import dataset_stream, scaled, spec_for, stream_length
+
+from repro.baselines import ExtraN, IncrementalDBSCAN
+from repro.bench.harness import measure_method
+from repro.bench.reporting import Table, write_result
+from repro.core.disc import DISC
+from repro.datasets.registry import DATASETS
+
+EPS_FACTORS = (0.25, 0.5, 1.0, 2.0, 4.0)
+TAU_FACTORS = (0.5, 1.0, 2.0, 4.0)
+
+
+def _latencies(points, spec, eps, tau):
+    row = {}
+    for name, method in (
+        ("DISC", DISC(eps, tau)),
+        ("IncDBSCAN", IncrementalDBSCAN(eps, tau)),
+        ("EXTRA-N", ExtraN(eps, tau, spec)),
+    ):
+        result = measure_method(method, points, spec)
+        row[name] = result["mean_stride_s"] * 1000
+    return row
+
+
+def run_figure6():
+    info = DATASETS["dtg"]
+    window = scaled(info.window)
+    spec = spec_for(window, 0.05)
+    points = list(dataset_stream("dtg", stream_length(spec, 12)))
+
+    eps_table = Table(
+        "Figure 6(a): elapsed time vs distance threshold eps (DTG, tau fixed)",
+        ["eps", "DISC ms", "IncDBSCAN ms", "EXTRA-N ms"],
+    )
+    eps_rows = {}
+    for factor in EPS_FACTORS:
+        eps = info.eps * factor
+        row = _latencies(points, spec, eps, info.tau)
+        eps_rows[eps] = row
+        eps_table.add(
+            f"{eps:g}",
+            f"{row['DISC']:.1f}",
+            f"{row['IncDBSCAN']:.1f}",
+            f"{row['EXTRA-N']:.1f}",
+        )
+
+    tau_table = Table(
+        "Figure 6(b): elapsed time vs density threshold tau (DTG, eps fixed)",
+        ["tau", "DISC ms", "IncDBSCAN ms", "EXTRA-N ms"],
+    )
+    tau_rows = {}
+    for factor in TAU_FACTORS:
+        tau = max(2, int(info.tau * factor))
+        row = _latencies(points, spec, info.eps, tau)
+        tau_rows[tau] = row
+        tau_table.add(
+            tau,
+            f"{row['DISC']:.1f}",
+            f"{row['IncDBSCAN']:.1f}",
+            f"{row['EXTRA-N']:.1f}",
+        )
+    return eps_table, tau_table, eps_rows, tau_rows
+
+
+def test_fig6_thresholds(benchmark):
+    eps_table, tau_table, eps_rows, tau_rows = benchmark.pedantic(
+        run_figure6, rounds=1, iterations=1
+    )
+    text = "\n\n".join((eps_table.to_text(), tau_table.to_text()))
+    write_result("fig6_thresholds", text)
+
+    eps_values = sorted(eps_rows)
+    # Larger eps costs more for every method (paper: times "elongated as the
+    # value of eps increased").
+    for name in ("DISC", "IncDBSCAN"):
+        assert eps_rows[eps_values[-1]][name] > eps_rows[eps_values[0]][name], (
+            f"{name}: no eps cost growth"
+        )
+    # DISC stays at least as stable as IncDBSCAN across the eps spectrum.
+    disc_spread = eps_rows[eps_values[-1]]["DISC"] / eps_rows[eps_values[0]]["DISC"]
+    inc_spread = (
+        eps_rows[eps_values[-1]]["IncDBSCAN"] / eps_rows[eps_values[0]]["IncDBSCAN"]
+    )
+    assert disc_spread <= inc_spread * 1.5, "DISC less stable than IncDBSCAN"
+    # tau has the milder effect (paper: "the impact of tau ... was not as
+    # significant as we anticipated").
+    tau_values = sorted(tau_rows)
+    tau_spread = (
+        tau_rows[tau_values[0]]["DISC"] / tau_rows[tau_values[-1]]["DISC"]
+    )
+    assert tau_spread < disc_spread * 2.0, "tau effect unexpectedly dominant"

@@ -1,0 +1,104 @@
+"""Figure 7 — number of range searches executed.
+
+(a) per dataset at a 5% stride: DISC vs IncDBSCAN (DBSCAN always needs one
+search per window point, shown for reference);
+(b) DTG across stride-to-window ratios, relative to DBSCAN.
+
+Paper shape: DISC consistently issues fewer range searches than IncDBSCAN
+across all datasets and all ratios, and both issue far fewer than DBSCAN;
+the search count tracks the elapsed-time results of Figure 4.
+"""
+
+from _workloads import (
+    DATASET_KEYS,
+    dataset_stream,
+    scaled,
+    spec_for,
+    stream_length,
+)
+
+from repro.baselines import IncrementalDBSCAN
+from repro.bench.harness import measure_method
+from repro.bench.reporting import Table, write_result
+from repro.core.disc import DISC
+from repro.datasets.registry import DATASETS
+
+RATIOS = (0.01, 0.05, 0.10, 0.25)
+
+
+def run_figure7():
+    table_a = Table(
+        "Figure 7(a): range searches per stride (stride = 5% of window)",
+        ["Dataset", "DISC", "IncDBSCAN", "DBSCAN (=window)"],
+    )
+    per_dataset = {}
+    for key in DATASET_KEYS:
+        info = DATASETS[key]
+        window = scaled(info.window)
+        spec = spec_for(window, 0.05)
+        points = list(dataset_stream(key, stream_length(spec, 12)))
+        counts = {}
+        for name, method in (
+            ("DISC", DISC(info.eps, info.tau)),
+            ("IncDBSCAN", IncrementalDBSCAN(info.eps, info.tau)),
+        ):
+            result = measure_method(method, points, spec)
+            counts[name] = result["range_searches"]
+        per_dataset[key] = counts
+        table_a.add(
+            info.name,
+            f"{counts['DISC']:.0f}",
+            f"{counts['IncDBSCAN']:.0f}",
+            window,
+        )
+
+    info = DATASETS["dtg"]
+    window = scaled(info.window)
+    table_b = Table(
+        "Figure 7(b): DTG range searches relative to DBSCAN vs stride ratio",
+        ["stride", "DISC/DBSCAN", "IncDBSCAN/DBSCAN"],
+    )
+    per_ratio = {}
+    for ratio in RATIOS:
+        spec = spec_for(window, ratio)
+        points = list(dataset_stream("dtg", stream_length(spec, 12)))
+        counts = {}
+        for name, method in (
+            ("DISC", DISC(info.eps, info.tau)),
+            ("IncDBSCAN", IncrementalDBSCAN(info.eps, info.tau)),
+        ):
+            result = measure_method(method, points, spec)
+            counts[name] = result["range_searches"] / window
+        per_ratio[ratio] = counts
+        table_b.add(
+            f"{spec.stride} ({ratio:.0%})",
+            f"{counts['DISC']:.3f}",
+            f"{counts['IncDBSCAN']:.3f}",
+        )
+    return table_a, table_b, per_dataset, per_ratio
+
+
+def test_fig7_range_searches(benchmark):
+    table_a, table_b, per_dataset, per_ratio = benchmark.pedantic(
+        run_figure7, rounds=1, iterations=1
+    )
+    write_result(
+        "fig7_range_searches",
+        "\n\n".join((table_a.to_text(), table_b.to_text())),
+    )
+    for key, counts in per_dataset.items():
+        window = scaled(DATASETS[key].window)
+        assert counts["DISC"] <= counts["IncDBSCAN"], (
+            f"{key}: DISC issued more searches than IncDBSCAN"
+        )
+        assert counts["DISC"] < window, (
+            f"{key}: DISC issued more searches than DBSCAN"
+        )
+    for ratio, counts in per_ratio.items():
+        assert counts["DISC"] <= counts["IncDBSCAN"] * 1.02, (
+            f"dtg@{ratio:.0%}: DISC not superior in search count"
+        )
+        if ratio <= 0.10:
+            assert counts["DISC"] < 1.0, (
+                f"dtg@{ratio:.0%}: DISC above the DBSCAN search budget"
+            )

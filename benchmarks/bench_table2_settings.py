@@ -1,0 +1,63 @@
+"""Table II — threshold values and window sizes per dataset.
+
+Prints the paper's parameters next to the scaled parameters this
+reproduction runs with, and sanity-checks each scaled setting by clustering
+one window (a setting that yields zero clusters or all-noise would invalidate
+every downstream figure).
+"""
+
+from _workloads import DATASET_KEYS, dataset_stream, scaled
+
+from repro.baselines.dbscan import SlidingDBSCAN
+from repro.bench.reporting import Table, write_result
+from repro.common.snapshot import Category
+from repro.datasets.registry import DATASETS
+
+
+def build_table2():
+    table = Table(
+        "Table II: threshold values and window sizes (paper -> scaled)",
+        [
+            "Dataset",
+            "paper tau",
+            "paper eps",
+            "paper window",
+            "tau",
+            "eps",
+            "window",
+            "clusters",
+            "core%",
+            "noise%",
+        ],
+    )
+    checks = {}
+    for key in DATASET_KEYS:
+        info = DATASETS[key]
+        window = scaled(info.window)
+        points = dataset_stream(key, window)
+        dbscan = SlidingDBSCAN(info.eps, info.tau)
+        dbscan.advance(list(points), ())
+        snap = dbscan.snapshot()
+        n = len(points)
+        checks[key] = snap
+        table.add(
+            info.name,
+            info.paper_tau,
+            info.paper_eps,
+            info.paper_window,
+            info.tau,
+            info.eps,
+            window,
+            snap.num_clusters,
+            f"{snap.count(Category.CORE) / n:.0%}",
+            f"{snap.count(Category.NOISE) / n:.0%}",
+        )
+    return table, checks
+
+
+def test_table2_settings(benchmark):
+    table, checks = benchmark.pedantic(build_table2, rounds=1, iterations=1)
+    write_result("table2_settings", table.to_text())
+    for key, snap in checks.items():
+        assert snap.num_clusters >= 2, f"{key}: settings found no clusters"
+        assert snap.count(Category.CORE) > 0, f"{key}: no cores"

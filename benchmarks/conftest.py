@@ -1,0 +1,8 @@
+"""Pytest configuration for the figure benches."""
+
+import os
+import sys
+
+# Make the sibling helper module (underscore-prefixed, not collected) importable
+# regardless of the rootdir pytest was invoked from.
+sys.path.insert(0, os.path.dirname(__file__))

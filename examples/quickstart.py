@@ -1,0 +1,39 @@
+"""Quickstart: incremental clustering of a drifting stream with DISC.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import DISC, Category, StreamPoint, WindowSpec
+from repro.datasets.synthetic import drifting_blob_stream
+from repro.window.sliding import SlidingWindow
+
+
+def main() -> None:
+    # Two thresholds, exactly like DBSCAN: eps is the neighbourhood radius,
+    # tau the number of neighbours (self included) that makes a core.
+    disc = DISC(eps=0.7, tau=5)
+
+    # A sliding window of 500 points advancing 50 points at a time.
+    spec = WindowSpec(window=500, stride=50)
+    points: list[StreamPoint] = drifting_blob_stream(2000, seed=7)
+
+    print(f"streaming {len(points)} points through a "
+          f"{spec.window}/{spec.stride} window\n")
+    for i, (delta_in, delta_out) in enumerate(SlidingWindow(spec).slides(points)):
+        summary = disc.advance(delta_in, delta_out)
+        snapshot = disc.snapshot()
+        events = ", ".join(e.kind.value for e in summary.events) or "steady"
+        print(
+            f"stride {i:2d}: {snapshot.num_clusters} clusters, "
+            f"{snapshot.count(Category.CORE):3d} cores, "
+            f"{snapshot.count(Category.NOISE):3d} noise | {events}"
+        )
+
+    print("\nfinal clusters (id: size):")
+    for cid, members in sorted(disc.snapshot().clusters().items()):
+        print(f"  {cid}: {len(members)} points")
+
+
+if __name__ == "__main__":
+    main()

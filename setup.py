@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+The offline environment this project targets has setuptools but no ``wheel``
+package, so ``pip install -e .`` must go through the classic
+``setup.py develop`` code path. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,81 @@
+"""High-level convenience API for the common streaming workflow.
+
+Most users want exactly this loop: slice a stream by a sliding window, feed
+each slide to DISC, and look at the snapshot per advance.
+:func:`cluster_stream` packages it as a generator; :func:`cluster_static`
+is the one-shot (no window) case.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.common.config import WindowSpec
+from repro.common.points import StreamPoint
+from repro.common.snapshot import Clustering
+from repro.core.disc import DISC
+from repro.core.events import StrideSummary
+from repro.window.sliding import SlidingWindow
+
+
+def cluster_stream(
+    points: Iterable[StreamPoint],
+    spec: WindowSpec,
+    eps: float,
+    tau: int,
+    *,
+    time_based: bool = False,
+    clusterer=None,
+) -> Iterator[tuple[Clustering, StrideSummary]]:
+    """Cluster a stream under a sliding window, yielding per-stride results.
+
+    Args:
+        points: the stream, in arrival order.
+        spec: window/stride sizes (counts, or durations if ``time_based``).
+        eps, tau: DBSCAN thresholds (ignored when ``clusterer`` is given).
+        time_based: interpret the spec as durations over point timestamps.
+        clusterer: optional pre-built clusterer to drive instead of DISC.
+
+    Yields:
+        ``(snapshot, summary)`` after every window advance.
+
+    Example:
+        >>> from repro.api import cluster_stream
+        >>> from repro.common.config import WindowSpec
+        >>> from repro.datasets.synthetic import blob_stream
+        >>> stream = blob_stream(300, [(0.0, 0.0), (5.0, 5.0)], seed=1)
+        >>> results = list(
+        ...     cluster_stream(stream, WindowSpec(100, 50), eps=0.8, tau=4)
+        ... )
+        >>> len(results)
+        6
+        >>> results[-1][0].num_clusters
+        2
+    """
+    method = clusterer if clusterer is not None else DISC(eps, tau)
+    for delta_in, delta_out in SlidingWindow(spec, time_based).slides(points):
+        summary = method.advance(delta_in, delta_out)
+        if summary is None:
+            summary = StrideSummary(
+                num_inserted=len(delta_in), num_deleted=len(delta_out)
+            )
+        yield method.snapshot(), summary
+
+
+def cluster_static(
+    points: Iterable[StreamPoint], eps: float, tau: int
+) -> Clustering:
+    """One-shot DBSCAN clustering of a finite point set (no window).
+
+    Example:
+        >>> from repro.api import cluster_static
+        >>> from repro.datasets.synthetic import blob_stream
+        >>> snap = cluster_static(
+        ...     blob_stream(200, [(0.0, 0.0), (6.0, 6.0)], seed=2), 0.8, 4
+        ... )
+        >>> snap.num_clusters
+        2
+    """
+    method = DISC(eps, tau)
+    method.advance(list(points), ())
+    return method.snapshot()

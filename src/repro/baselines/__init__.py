@@ -1,0 +1,37 @@
+"""Every comparison method of the paper's evaluation, built from scratch.
+
+Exact methods (identical output to DBSCAN):
+
+- :class:`~repro.baselines.dbscan.SlidingDBSCAN` — recluster from scratch on
+  every window advance (the Figures 4-5 baseline).
+- :class:`~repro.baselines.incdbscan.IncrementalDBSCAN` — Ester et al. 1998,
+  one update procedure per inserted/deleted point.
+- :class:`~repro.baselines.extran.ExtraN` — Yang et al. 2009, predicted
+  views over sub-windows to avoid deletion-time range searches.
+
+Approximate / summarisation methods:
+
+- :class:`~repro.baselines.dbstream.DBStream` — micro-clusters with a
+  shared-density graph (Hahsler & Bolanos 2016).
+- :class:`~repro.baselines.edmstream.EDMStream` — cluster-cells on a density
+  mountain / dependency tree (Gong et al. 2017).
+- :class:`~repro.baselines.rho2dbscan.RhoDoubleApproxDBSCAN` — dynamic
+  rho-approximate DBSCAN on a grid (Gan & Tao 2017).
+"""
+
+from repro.baselines.dbscan import SlidingDBSCAN, dbscan_labels
+from repro.baselines.dbstream import DBStream
+from repro.baselines.edmstream import EDMStream
+from repro.baselines.extran import ExtraN
+from repro.baselines.incdbscan import IncrementalDBSCAN
+from repro.baselines.rho2dbscan import RhoDoubleApproxDBSCAN
+
+__all__ = [
+    "DBStream",
+    "EDMStream",
+    "ExtraN",
+    "IncrementalDBSCAN",
+    "RhoDoubleApproxDBSCAN",
+    "SlidingDBSCAN",
+    "dbscan_labels",
+]

@@ -1,0 +1,243 @@
+"""DBSTREAM (Hahsler & Bolanos, TKDE 2016) — shared-density micro-clusters.
+
+A summarisation-based stream clusterer: points are absorbed into
+micro-clusters (MCs) whose weights fade exponentially; MCs whose coverage
+areas overlap accumulate *shared density*, and reclustering connects MCs
+whose shared density (relative to their weights) exceeds the intersection
+factor alpha. Insertion-only — expired points simply fade away, which is why
+the paper measures only its insertion latency (Figures 9-10).
+
+The implementation follows the published algorithm: Gaussian neighbourhood
+competitive learning for centre updates, collapse prevention by reverting
+moves that bring two MCs within radius of each other, and periodic cleanup of
+weak MCs and weak shared-density entries.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.common.config import ClusteringParams
+from repro.common.disjointset import DisjointSet
+from repro.common.points import StreamPoint
+from repro.common.snapshot import Category, Clustering
+from repro.core.events import StrideSummary
+from repro.index.grid import GridIndex
+
+Coords = tuple[float, ...]
+
+
+class _MicroCluster:
+    __slots__ = ("mc_id", "center", "weight", "last_update")
+
+    def __init__(self, mc_id: int, center: Coords, now: float) -> None:
+        self.mc_id = mc_id
+        self.center = center
+        self.weight = 1.0
+        self.last_update = now
+
+
+class DBStream:
+    """Micro-cluster stream clusterer with shared-density reclustering.
+
+    Args:
+        radius: MC radius r (plays the role of the clustering resolution;
+            set it near the DBSCAN eps being compared against).
+        dim: dimensionality of the stream.
+        fade: decay rate lambda; weights fade as ``2**(-fade * dt)``.
+        alpha: intersection factor — MCs i, j are connected when
+            ``s_ij / ((w_i + w_j) / 2) >= alpha``.
+        weak_threshold: MCs with faded weight below this are dropped during
+            cleanup.
+        gap: cleanup period, counted in processed points.
+    """
+
+    name = "DBSTREAM"
+
+    def __init__(
+        self,
+        radius: float,
+        dim: int,
+        *,
+        fade: float = 0.001,
+        alpha: float = 0.3,
+        weak_threshold: float = 1.0,
+        gap: int = 1000,
+    ) -> None:
+        self.params = ClusteringParams(radius, 1)
+        self.radius = radius
+        self.dim = dim
+        self.fade = fade
+        self.alpha = alpha
+        self.weak_threshold = weak_threshold
+        self.gap = gap
+        self._mcs: dict[int, _MicroCluster] = {}
+        self._shared: dict[tuple[int, int], tuple[float, float]] = {}
+        self._grid = GridIndex(eps=radius, dim=dim)
+        self._next_mc = 0
+        self._clock = 0.0
+        self._ticks = 0
+        self._window: dict[int, Coords] = {}  # for labelling snapshots only
+
+    @property
+    def stats(self):
+        return self._grid.stats
+
+    def _decay(self, weight: float, since: float) -> float:
+        return weight * (2.0 ** (-self.fade * (self._clock - since)))
+
+    def advance(
+        self,
+        delta_in: Sequence[StreamPoint],
+        delta_out: Sequence[StreamPoint] = (),
+    ) -> StrideSummary:
+        """Absorb arrivals; departures only update the labelling window."""
+        for sp in delta_out:
+            self._window.pop(sp.pid, None)
+        for sp in delta_in:
+            coords = tuple(sp.coords)
+            self._window[sp.pid] = coords
+            self._insert(coords)
+        return StrideSummary(
+            num_inserted=len(delta_in), num_deleted=len(delta_out)
+        )
+
+    def _insert(self, x: Coords) -> None:
+        self._clock += 1.0
+        self._ticks += 1
+        touched = [
+            self._mcs[mc_id] for mc_id, _ in self._grid.ball(x, self.radius)
+        ]
+        if not touched:
+            mc = _MicroCluster(self._next_mc, x, self._clock)
+            self._next_mc += 1
+            self._mcs[mc.mc_id] = mc
+            self._grid.insert(mc.mc_id, mc.center)
+        else:
+            sigma = self.radius / 3.0
+            proposals: list[tuple[_MicroCluster, Coords]] = []
+            for mc in touched:
+                mc.weight = self._decay(mc.weight, mc.last_update) + 1.0
+                mc.last_update = self._clock
+                dist_sq = _dist_sq(mc.center, x)
+                h = math.exp(-dist_sq / (2.0 * sigma * sigma))
+                moved = tuple(
+                    c + h * (xi - c) for c, xi in zip(mc.center, x)
+                )
+                proposals.append((mc, moved))
+            # Collapse prevention: revert moves bringing two MCs within r.
+            accepted = self._prevent_collapse(proposals)
+            for mc, new_center in accepted:
+                if new_center != mc.center:
+                    self._grid.delete(mc.mc_id)
+                    mc.center = new_center
+                    self._grid.insert(mc.mc_id, mc.center)
+            # Shared density between every pair of touched MCs.
+            for i in range(len(touched)):
+                for j in range(i + 1, len(touched)):
+                    key = _pair(touched[i].mc_id, touched[j].mc_id)
+                    weight, since = self._shared.get(key, (0.0, self._clock))
+                    faded = weight * (2.0 ** (-self.fade * (self._clock - since)))
+                    self._shared[key] = (faded + 1.0, self._clock)
+        if self._ticks % self.gap == 0:
+            self._cleanup()
+
+    def _prevent_collapse(self, proposals):
+        """Keep proposed centre moves only when no touched pair collapses."""
+        r_sq = self.radius * self.radius
+        accepted = []
+        for idx, (mc, moved) in enumerate(proposals):
+            ok = True
+            for jdx, (other, other_moved) in enumerate(proposals):
+                if jdx == idx:
+                    continue
+                if _dist_sq(moved, other_moved) < r_sq:
+                    ok = False
+                    break
+            accepted.append((mc, moved if ok else mc.center))
+        return accepted
+
+    def _cleanup(self) -> None:
+        weak = 2.0 ** (-self.fade * self.gap)
+        dead = [
+            mc_id
+            for mc_id, mc in self._mcs.items()
+            if self._decay(mc.weight, mc.last_update) < weak
+        ]
+        for mc_id in dead:
+            self._grid.delete(mc_id)
+            del self._mcs[mc_id]
+        dead_set = set(dead)
+        stale = [
+            key
+            for key, (weight, since) in self._shared.items()
+            if key[0] in dead_set
+            or key[1] in dead_set
+            or weight * (2.0 ** (-self.fade * (self._clock - since)))
+            < self.alpha * weak
+        ]
+        for key in stale:
+            del self._shared[key]
+
+    def macro_clusters(self) -> dict[int, int]:
+        """MC id -> macro cluster id, from the shared-density graph."""
+        ds = DisjointSet()
+        weights = {
+            mc_id: self._decay(mc.weight, mc.last_update)
+            for mc_id, mc in self._mcs.items()
+        }
+        strong = {
+            mc_id for mc_id, w in weights.items() if w >= self.weak_threshold
+        }
+        roots = {mc_id: ds.find(mc_id) for mc_id in strong}
+        for (i, j), (weight, since) in self._shared.items():
+            if i not in strong or j not in strong:
+                continue
+            faded = weight * (2.0 ** (-self.fade * (self._clock - since)))
+            mean_weight = (weights[i] + weights[j]) / 2.0
+            if mean_weight > 0 and faded / mean_weight >= self.alpha:
+                ds.union(i, j)
+        return {mc_id: ds.find(mc_id) for mc_id in roots}
+
+    def snapshot(self) -> Clustering:
+        """Label current window points through their covering micro-cluster."""
+        macro = self.macro_clusters()
+        labels: dict[int, int] = {}
+        categories: dict[int, Category] = {}
+        for pid, coords in self._window.items():
+            best = None
+            best_d = None
+            for mc_id, center in self._grid.ball(coords, self.radius):
+                if mc_id not in macro:
+                    continue
+                d = _dist_sq(coords, center)
+                if best_d is None or d < best_d:
+                    best, best_d = mc_id, d
+            if best is None:
+                categories[pid] = Category.NOISE
+            else:
+                categories[pid] = Category.CORE
+                labels[pid] = macro[best]
+        return Clustering(labels, categories)
+
+    def labels(self) -> dict[int, int]:
+        return dict(self.snapshot().labels)
+
+    def num_micro_clusters(self) -> int:
+        return len(self._mcs)
+
+    def __len__(self) -> int:
+        return len(self._window)
+
+
+def _pair(a: int, b: int) -> tuple[int, int]:
+    return (a, b) if a < b else (b, a)
+
+
+def _dist_sq(a: Coords, b: Coords) -> float:
+    total = 0.0
+    for xa, xb in zip(a, b):
+        diff = xa - xb
+        total += diff * diff
+    return total

@@ -1,0 +1,24 @@
+"""Benchmark harness regenerating the paper's tables and figures.
+
+The modules here are library code; the runnable benches live in
+``benchmarks/`` (one per figure/table) and are executed with
+``pytest benchmarks/ --benchmark-only``. Result tables are written to
+``benchmarks/results/`` and summarised in EXPERIMENTS.md.
+"""
+
+from repro.bench.harness import (
+    measure_method,
+    prefill,
+    steady_slides,
+    window_ari,
+)
+from repro.bench.reporting import Table, write_result
+
+__all__ = [
+    "Table",
+    "measure_method",
+    "prefill",
+    "steady_slides",
+    "window_ari",
+    "write_result",
+]

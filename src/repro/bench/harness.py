@@ -1,0 +1,109 @@
+"""Measurement helpers shared by every figure bench.
+
+The paper measures "the average elapsed time taken to update clusters when
+the sliding window advanced by a single stride", at steady state. To make
+that affordable across a large sweep, each measurement:
+
+1. *prefills* the clusterer with one whole window (a single batch — every
+   method here produces the identical state it would reach stride-by-stride,
+   except EXTRA-N which needs arrival slides and exposes ``prefill``);
+2. replays ``n_measured`` steady-state strides, timing each ``advance``.
+"""
+
+from __future__ import annotations
+
+import time
+from statistics import mean
+
+from repro.common.config import WindowSpec
+from repro.common.points import StreamPoint
+from repro.metrics.ari import adjusted_rand_index
+
+Slide = tuple[list[StreamPoint], list[StreamPoint]]
+
+
+def steady_slides(
+    points: list[StreamPoint], spec: WindowSpec, n_measured: int
+) -> tuple[list[StreamPoint], list[Slide]]:
+    """Split a stream into (fill window, measured steady-state slides).
+
+    Requires ``len(points) >= spec.window + n_measured * spec.stride``.
+    """
+    needed = spec.window + n_measured * spec.stride
+    if len(points) < needed:
+        raise ValueError(
+            f"stream too short: need {needed} points, have {len(points)}"
+        )
+    window = points[: spec.window]
+    slides = []
+    for k in range(n_measured):
+        lo = spec.window + k * spec.stride
+        delta_in = points[lo : lo + spec.stride]
+        delta_out = points[lo - spec.window : lo - spec.window + spec.stride]
+        slides.append((delta_in, delta_out))
+    return window, slides
+
+
+def default_measured_strides(spec: WindowSpec, cap: int = 12) -> int:
+    """How many steady strides to average: more for tiny strides, capped."""
+    return max(3, min(cap, spec.strides_per_window // 2))
+
+
+def prefill(method, window_points: list[StreamPoint], spec: WindowSpec) -> None:
+    """Load one full window into ``method`` before measurement starts.
+
+    EXTRA-N needs per-slide arrival bookkeeping and exposes ``prefill``;
+    everything else takes the window as one batch (identical end state).
+    """
+    custom = getattr(method, "prefill", None)
+    if custom is not None:
+        batches = [
+            window_points[i : i + spec.stride]
+            for i in range(0, len(window_points), spec.stride)
+        ]
+        custom(batches)
+    else:
+        method.advance(window_points, ())
+
+
+def measure_method(
+    method,
+    points: list[StreamPoint],
+    spec: WindowSpec,
+    n_measured: int | None = None,
+) -> dict:
+    """Prefill, then measure mean per-stride latency at steady state.
+
+    Returns a dict with ``mean_stride_s``, ``per_point_s`` (latency divided
+    by points changed per stride), ``range_searches`` (during the measured
+    strides only), and ``n_measured``.
+    """
+    if n_measured is None:
+        n_measured = default_measured_strides(spec)
+    window_points, slides = steady_slides(points, spec, n_measured)
+    prefill(method, window_points, spec)
+    stats = getattr(method, "stats", None)
+    searches_before = stats.range_searches if stats is not None else 0
+    elapsed = []
+    for delta_in, delta_out in slides:
+        start = time.perf_counter()
+        method.advance(delta_in, delta_out)
+        elapsed.append(time.perf_counter() - start)
+    searches = (
+        stats.range_searches - searches_before if stats is not None else 0
+    )
+    mean_stride = mean(elapsed)
+    return {
+        "mean_stride_s": mean_stride,
+        "per_point_s": mean_stride / max(1, spec.stride),
+        "range_searches": searches / n_measured,
+        "n_measured": n_measured,
+    }
+
+
+def window_ari(method, truth: dict[int, int], window_pids: list[int]) -> float:
+    """ARI of ``method``'s current snapshot against ground-truth labels."""
+    snapshot = method.snapshot()
+    predicted = snapshot.label_array(window_pids)
+    reference = [truth[pid] for pid in window_pids]
+    return adjusted_rand_index(reference, predicted)

@@ -1,0 +1,64 @@
+"""Plain-text tables mirroring the paper's figures, plus result persistence."""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "..", "benchmarks", "results")
+
+
+class Table:
+    """A simple aligned text table with a caption."""
+
+    def __init__(self, caption: str, headers: Sequence[str]) -> None:
+        self.caption = caption
+        self.headers = list(headers)
+        self.rows: list[list[str]] = []
+
+    def add(self, *cells) -> None:
+        """Append one row; cells are formatted with sensible defaults."""
+        row = []
+        for cell in cells:
+            if isinstance(cell, float):
+                row.append(f"{cell:.4g}")
+            else:
+                row.append(str(cell))
+        self.rows.append(row)
+
+    def to_text(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.caption]
+        lines.append(
+            "  ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(
+                "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+
+def write_result(name: str, text: str, echo: bool = True) -> str:
+    """Persist a bench result under ``benchmarks/results/<name>.txt``.
+
+    Returns the path written. Also echoes to stdout (pytest shows it with
+    ``-s``; the file is the durable record either way).
+    """
+    directory = os.path.abspath(RESULTS_DIR)
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text)
+        if not text.endswith("\n"):
+            handle.write("\n")
+    if echo:
+        print(f"\n{text}\n[written to {path}]")
+    return path

@@ -1,0 +1,218 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``generate`` — write one of the dataset simulators to a stream file.
+- ``cluster`` — run a clustering method over a stream file under a sliding
+  window and write the final labels (optionally logging evolution events).
+- ``estimate`` — suggest eps (k-distance knee) and tau for a stream sample.
+- ``compare`` — quick side-by-side of all methods on a stream.
+
+Examples:
+    python -m repro generate --dataset maze --n 5000 --output maze.csv
+    python -m repro cluster --input maze.csv --eps 0.8 --tau 4 \\
+        --window 2000 --stride 100 --output labels.csv --events
+    python -m repro estimate --input maze.csv --k 4 --sample 1000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.baselines import (
+    DBStream,
+    EDMStream,
+    ExtraN,
+    IncrementalDBSCAN,
+    RhoDoubleApproxDBSCAN,
+    SlidingDBSCAN,
+)
+from repro.common.config import WindowSpec
+from repro.core.disc import DISC
+from repro.datasets.io import read_stream, write_labels, write_stream
+from repro.datasets.registry import DATASETS
+from repro.metrics.kdist import suggest_eps, suggest_tau
+from repro.window.sliding import SlidingWindow
+
+METHODS = ("disc", "incdbscan", "extran", "dbscan", "rho2", "dbstream", "edmstream")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DISC incremental density-based clustering (ICDE 2021 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="write a dataset simulator's stream to a file"
+    )
+    generate.add_argument(
+        "--dataset", required=True, choices=sorted(DATASETS)
+    )
+    generate.add_argument("--n", type=int, required=True, help="points to emit")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--output", required=True, help=".csv or .jsonl path")
+
+    cluster = commands.add_parser(
+        "cluster", help="cluster a stream file under a sliding window"
+    )
+    cluster.add_argument("--input", required=True)
+    cluster.add_argument("--method", choices=METHODS, default="disc")
+    cluster.add_argument("--eps", type=float, required=True)
+    cluster.add_argument("--tau", type=int, required=True)
+    cluster.add_argument("--window", type=int, required=True)
+    cluster.add_argument("--stride", type=int, required=True)
+    cluster.add_argument("--time-based", action="store_true")
+    cluster.add_argument("--rho", type=float, default=0.001, help="rho2 only")
+    cluster.add_argument("--output", help="labels CSV for the final window")
+    cluster.add_argument(
+        "--events", action="store_true", help="log evolution events per stride"
+    )
+
+    estimate = commands.add_parser(
+        "estimate", help="suggest eps/tau from a stream sample"
+    )
+    estimate.add_argument("--input", required=True)
+    estimate.add_argument("--k", type=int, default=4)
+    estimate.add_argument(
+        "--sample", type=int, default=1000, help="points to sample from the head"
+    )
+
+    compare = commands.add_parser(
+        "compare", help="run every method over a stream and report speed"
+    )
+    compare.add_argument("--input", required=True)
+    compare.add_argument("--eps", type=float, required=True)
+    compare.add_argument("--tau", type=int, required=True)
+    compare.add_argument("--window", type=int, required=True)
+    compare.add_argument("--stride", type=int, required=True)
+    return parser
+
+
+def make_method(name: str, args) -> object:
+    """Instantiate a clusterer by CLI name."""
+    spec = WindowSpec(window=args.window, stride=args.stride)
+    dim = getattr(args, "dim", None)
+    if name == "disc":
+        return DISC(args.eps, args.tau)
+    if name == "incdbscan":
+        return IncrementalDBSCAN(args.eps, args.tau)
+    if name == "extran":
+        return ExtraN(args.eps, args.tau, spec)
+    if name == "dbscan":
+        return SlidingDBSCAN(args.eps, args.tau)
+    if name == "rho2":
+        return RhoDoubleApproxDBSCAN(
+            args.eps, args.tau, dim=dim, rho=getattr(args, "rho", 0.001)
+        )
+    if name == "dbstream":
+        return DBStream(
+            radius=1.5 * args.eps,
+            dim=dim,
+            fade=0.5 / args.window,
+            alpha=0.1,
+            weak_threshold=0.5,
+        )
+    if name == "edmstream":
+        return EDMStream(radius=args.eps, dim=dim, fade=0.5 / args.window)
+    raise ValueError(f"unknown method {name}")
+
+
+def cmd_generate(args) -> int:
+    points = DATASETS[args.dataset].load(args.n, seed=args.seed)
+    count = write_stream(args.output, points)
+    print(f"wrote {count} points of {args.dataset} to {args.output}")
+    return 0
+
+
+def cmd_cluster(args) -> int:
+    points = list(read_stream(args.input))
+    if not points:
+        print("input stream is empty", file=sys.stderr)
+        return 1
+    args.dim = len(points[0].coords)
+    method = make_method(args.method, args)
+    spec = WindowSpec(window=args.window, stride=args.stride)
+    start = time.perf_counter()
+    strides = 0
+    for delta_in, delta_out in SlidingWindow(spec, args.time_based).slides(points):
+        summary = method.advance(delta_in, delta_out)
+        strides += 1
+        if args.events and summary is not None and summary.events:
+            for event in summary.events:
+                print(
+                    f"stride {strides - 1}: {event.kind.value} "
+                    f"clusters={event.cluster_ids}"
+                )
+    elapsed = time.perf_counter() - start
+    snapshot = method.snapshot()
+    print(
+        f"{method.name}: {strides} strides in {elapsed:.2f}s "
+        f"({elapsed / max(1, strides) * 1000:.1f} ms/stride); "
+        f"final window: {snapshot.num_points} points, "
+        f"{snapshot.num_clusters} clusters"
+    )
+    if args.output:
+        rows = write_labels(args.output, snapshot)
+        print(f"wrote {rows} labels to {args.output}")
+    return 0
+
+
+def cmd_estimate(args) -> int:
+    points = []
+    for point in read_stream(args.input):
+        points.append(point)
+        if len(points) >= args.sample:
+            break
+    if len(points) <= args.k:
+        print("not enough points to estimate", file=sys.stderr)
+        return 1
+    eps = suggest_eps(points, args.k)
+    tau = suggest_tau(points, eps, sample_every=max(1, len(points) // 300))
+    print(f"sampled {len(points)} points (k={args.k})")
+    print(f"suggested eps: {eps:.6g}")
+    print(f"suggested tau: {tau}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    points = list(read_stream(args.input))
+    if not points:
+        print("input stream is empty", file=sys.stderr)
+        return 1
+    args.dim = len(points[0].coords)
+    spec = WindowSpec(window=args.window, stride=args.stride)
+    print(f"{'method':<12} {'total s':>8} {'ms/stride':>10} {'clusters':>9}")
+    for name in METHODS:
+        method = make_method(name, args)
+        start = time.perf_counter()
+        strides = 0
+        for delta_in, delta_out in SlidingWindow(spec).slides(points):
+            method.advance(delta_in, delta_out)
+            strides += 1
+        elapsed = time.perf_counter() - start
+        snapshot = method.snapshot()
+        print(
+            f"{method.name:<12} {elapsed:8.2f} "
+            f"{elapsed / max(1, strides) * 1000:10.1f} "
+            f"{snapshot.num_clusters:9d}"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": cmd_generate,
+        "cluster": cmd_cluster,
+        "estimate": cmd_estimate,
+        "compare": cmd_compare,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""Union-find over cluster ids.
+
+Cluster merges in DISC (and in IncDBSCAN) are implemented as a single
+``union`` of two cluster ids instead of relabelling every member point.
+Reads resolve through ``find`` with path compression, so a border point's
+anchor stays valid across any number of merges.
+"""
+
+from __future__ import annotations
+
+
+class DisjointSet:
+    """A disjoint-set forest over integer ids with union by size.
+
+    Ids are created on demand by :meth:`make`; :meth:`find` on an unknown id
+    registers it as its own singleton, which keeps call sites simple.
+    """
+
+    def __init__(self) -> None:
+        self._parent: dict[int, int] = {}
+        self._size: dict[int, int] = {}
+        self._next_id = 0
+
+    def make(self) -> int:
+        """Create and return a brand-new singleton id."""
+        new_id = self._next_id
+        self._next_id += 1
+        self._parent[new_id] = new_id
+        self._size[new_id] = 1
+        return new_id
+
+    def find(self, item: int) -> int:
+        """Return the canonical representative of ``item``'s set."""
+        parent = self._parent
+        if item not in parent:
+            parent[item] = item
+            self._size[item] = 1
+            if item >= self._next_id:
+                self._next_id = item + 1
+            return item
+        root = item
+        while parent[root] != root:
+            root = parent[root]
+        while parent[item] != root:
+            parent[item], item = root, parent[item]
+        return root
+
+    def union(self, a: int, b: int) -> int:
+        """Merge the sets of ``a`` and ``b``; return the surviving root."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        return ra
+
+    def connected(self, a: int, b: int) -> bool:
+        """Return True when ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+    def discard(self, item: int) -> None:
+        """Forget a *root* id that no longer labels any point.
+
+        Only safe for ids that are their own representative and whose set has
+        become empty; used to keep the forest from growing without bound
+        across many window slides.
+        """
+        if self._parent.get(item) == item and self._size.get(item) == 1:
+            del self._parent[item]
+            del self._size[item]
+
+    def __len__(self) -> int:
+        return len(self._parent)

@@ -1,0 +1,30 @@
+"""Distance helpers.
+
+All clusterers and indexes in this library agree on plain Euclidean distance.
+Hot paths work with *squared* distances to avoid square roots; the epsilon
+threshold is squared once up front by callers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+Coords = tuple[float, ...]
+
+
+def squared_distance(a: Sequence[float], b: Sequence[float]) -> float:
+    """Return the squared Euclidean distance between two coordinate tuples."""
+    total = 0.0
+    for xa, xb in zip(a, b):
+        diff = xa - xb
+        total += diff * diff
+    return total
+
+
+def within_eps(a: Sequence[float], b: Sequence[float], eps: float) -> bool:
+    """Return True when ``a`` and ``b`` lie within ``eps`` of each other.
+
+    The comparison is inclusive (``dist <= eps``), matching DBSCAN's
+    definition of the epsilon-neighbourhood.
+    """
+    return squared_distance(a, b) <= eps * eps

@@ -1,0 +1,25 @@
+"""Exception hierarchy for the DISC reproduction library."""
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when parameters are invalid (non-positive eps, tau < 1, ...)."""
+
+
+class StreamOrderError(ReproError):
+    """Raised when stream updates violate the sliding-window contract.
+
+    Examples: deleting a point that is not in the window, inserting a point
+    id that is already present, or time-based strides arriving out of order.
+    """
+
+
+class IndexError_(ReproError):
+    """Raised on invalid spatial-index operations (duplicate insert, ...).
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`.
+    """

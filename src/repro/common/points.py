@@ -1,0 +1,30 @@
+"""Stream point representation.
+
+Stream elements are lightweight named tuples: an integer id, a coordinate
+tuple, and a timestamp. The timestamp drives time-based windows and is simply
+the arrival index for count-based streams.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class StreamPoint(NamedTuple):
+    """One element of a data stream."""
+
+    pid: int
+    coords: tuple[float, ...]
+    time: float = 0.0
+
+
+def make_points(
+    coords_list: list[tuple[float, ...]],
+    start_id: int = 0,
+    start_time: float = 0.0,
+) -> list[StreamPoint]:
+    """Wrap raw coordinate tuples as consecutive :class:`StreamPoint`s."""
+    return [
+        StreamPoint(start_id + i, tuple(coords), start_time + i)
+        for i, coords in enumerate(coords_list)
+    ]

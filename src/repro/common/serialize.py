@@ -1,0 +1,62 @@
+"""JSON-friendly serialization of clustering snapshots.
+
+Downstream consumers (dashboards, alerting pipelines) usually want labels as
+plain data; these helpers convert a :class:`Clustering` to and from
+JSON-compatible dictionaries with a round-trip guarantee.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.common.errors import ReproError
+from repro.common.snapshot import Category, Clustering
+
+
+class SerializationError(ReproError):
+    """Raised when a payload cannot be decoded into a Clustering."""
+
+
+def clustering_to_dict(clustering: Clustering) -> dict:
+    """A JSON-compatible representation of a snapshot."""
+    return {
+        "version": 1,
+        "labels": {str(pid): cid for pid, cid in clustering.labels.items()},
+        "categories": {
+            str(pid): category.value
+            for pid, category in clustering.categories.items()
+        },
+    }
+
+
+def clustering_from_dict(payload: dict) -> Clustering:
+    """Inverse of :func:`clustering_to_dict`."""
+    try:
+        if payload.get("version") != 1:
+            raise SerializationError(
+                f"unsupported snapshot version: {payload.get('version')!r}"
+            )
+        labels = {int(pid): int(cid) for pid, cid in payload["labels"].items()}
+        categories = {
+            int(pid): Category(value)
+            for pid, value in payload["categories"].items()
+        }
+    except SerializationError:
+        raise
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise SerializationError(f"malformed snapshot payload: {exc}") from exc
+    return Clustering(labels, categories)
+
+
+def dumps(clustering: Clustering) -> str:
+    """Serialize a snapshot to a JSON string."""
+    return json.dumps(clustering_to_dict(clustering), sort_keys=True)
+
+
+def loads(text: str) -> Clustering:
+    """Deserialize a snapshot from a JSON string."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON: {exc}") from exc
+    return clustering_from_dict(payload)

@@ -1,0 +1,106 @@
+"""The common clustering snapshot type reported by every method.
+
+A :class:`Clustering` is a point-in-time view of the window: each point's
+category (core / border / noise) and, for non-noise points, its cluster id.
+All clusterers in this library — exact and approximate — can produce one, so
+metrics and tests compare methods through this single type.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from collections.abc import Iterable, Mapping
+
+
+class Category(enum.Enum):
+    """The DBSCAN point categories, plus the transient bookkeeping states."""
+
+    CORE = "core"
+    BORDER = "border"
+    NOISE = "noise"
+    UNCLASSIFIED = "unclassified"
+    DELETED = "deleted"
+
+
+class Clustering:
+    """An immutable snapshot of a clustering result.
+
+    Args:
+        labels: mapping of point id -> cluster id; noise points are absent
+            (or mapped to ``NOISE_ID``).
+        categories: mapping of point id -> :class:`Category`; must cover every
+            point currently in the window.
+    """
+
+    NOISE_ID = -1
+
+    def __init__(
+        self,
+        labels: Mapping[int, int],
+        categories: Mapping[int, Category],
+    ) -> None:
+        self._labels = {
+            pid: cid for pid, cid in labels.items() if cid != self.NOISE_ID
+        }
+        self._categories = dict(categories)
+
+    @property
+    def labels(self) -> Mapping[int, int]:
+        """Point id -> cluster id for every non-noise point."""
+        return self._labels
+
+    @property
+    def categories(self) -> Mapping[int, Category]:
+        """Point id -> category for every point in the window."""
+        return self._categories
+
+    def label_of(self, pid: int) -> int:
+        """Cluster id of ``pid``, or ``NOISE_ID`` when it is noise."""
+        return self._labels.get(pid, self.NOISE_ID)
+
+    def category_of(self, pid: int) -> Category:
+        """Category of ``pid``; unknown ids are reported as noise."""
+        return self._categories.get(pid, Category.NOISE)
+
+    def clusters(self) -> dict[int, set[int]]:
+        """Cluster id -> member point ids."""
+        grouped: dict[int, set[int]] = defaultdict(set)
+        for pid, cid in self._labels.items():
+            grouped[cid].add(pid)
+        return dict(grouped)
+
+    def core_clusters(self) -> dict[int, frozenset[int]]:
+        """Cluster id -> the *core* member points only.
+
+        Border assignment is order-dependent in DBSCAN, so exactness
+        comparisons are made on the core partition (see DESIGN.md §3.4).
+        """
+        grouped: dict[int, set[int]] = defaultdict(set)
+        for pid, cid in self._labels.items():
+            if self._categories.get(pid) is Category.CORE:
+                grouped[cid].add(pid)
+        return {cid: frozenset(members) for cid, members in grouped.items() if members}
+
+    @property
+    def num_clusters(self) -> int:
+        """Number of distinct clusters containing at least one core."""
+        return len(self.core_clusters())
+
+    @property
+    def num_points(self) -> int:
+        return len(self._categories)
+
+    def count(self, category: Category) -> int:
+        """Number of points in the given category."""
+        return sum(1 for cat in self._categories.values() if cat is category)
+
+    def label_array(self, pids: Iterable[int]) -> list[int]:
+        """Labels in the order of ``pids`` (noise as ``NOISE_ID``), for ARI."""
+        return [self.label_of(pid) for pid in pids]
+
+    def __repr__(self) -> str:
+        return (
+            f"Clustering(points={self.num_points}, clusters={self.num_clusters}, "
+            f"cores={self.count(Category.CORE)}, noise={self.count(Category.NOISE)})"
+        )

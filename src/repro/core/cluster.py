@@ -1,0 +1,367 @@
+"""The CLUSTER step (paper Algorithm 2).
+
+Ex-cores are consolidated into retro-reachability classes; one representative
+per class computes the minimal bonding cores ``M^-`` and a single
+connectivity check decides split / shrink / dissipate for the whole class
+(Theorem 1). Neo-cores are consolidated into nascent-reachability classes
+whose ``M^+`` label multiset decides merge / expand / emerge — no
+connectivity check needed, just label inspection.
+
+Every ex-core and every neo-core is range-searched exactly once across the
+whole step; those searches double as the maintenance pass for the border
+bookkeeping (``c_core`` and anchors, Section V of the paper).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.events import EvolutionEvent, EvolutionKind
+from repro.core.msbfs import check_connectivity
+from repro.core.state import WindowState
+
+
+def process_ex_cores(
+    state: WindowState,
+    index,
+    ex_cores: list[int],
+    *,
+    multi_starter: bool = True,
+    epoch_probing: bool = True,
+) -> list[EvolutionEvent]:
+    """Handle cluster evolution caused by ex-cores (Algorithm 2, lines 1-7).
+
+    Returns one event per retro-reachability class.
+    """
+    params = state.params
+    eps = params.eps
+    tau = params.tau
+    records = state.records
+    events: list[EvolutionEvent] = []
+
+    def on_border(border_pid: int, core_pid: int) -> None:
+        """Refresh a border anchor when MS-BFS passes by (Section V)."""
+        q = records[border_pid]
+        if q.deleted:
+            return
+        q.anchor = core_pid
+        state.repair.discard(border_pid)
+
+    # Old cluster ids retained this stride, mapped to representative cores of
+    # the components that kept them. Needed because several retro classes may
+    # carve the *same* old cluster: each class's check sees only its own
+    # fragments (Lemma 2 is per-class), so without reconciliation two
+    # disconnected fragments could both retain the old id. Claims are
+    # recorded here; ids actually at risk — fragmentation of a cluster always
+    # makes some split survivor claim it, so only ids in ``split_claimed``
+    # can be contested — are settled once at the end by a single connectivity
+    # check over the claimants.
+    kept: dict[int, list[int]] = {}
+    split_claimed: set[int] = set()
+
+    remaining = set(ex_cores)
+    while remaining:
+        seed = remaining.pop()
+        # Breadth-first enumeration of the retro-reachability class R^-(seed);
+        # the same searches collect the minimal bonding cores M^-(seed).
+        retro = {seed}
+        queue: deque[int] = deque([seed])
+        bonding: list[int] = []
+        bonding_seen: set[int] = set()
+        while queue:
+            rid = queue.popleft()
+            rec_r = records[rid]
+            r_in_window = not rec_r.deleted
+            if r_in_window:
+                # Demoted this stride: it no longer carries a core cid, and
+                # any old anchor value is meaningless.
+                rec_r.cid = None
+                rec_r.anchor = None
+            for qid, _ in index.ball(rec_r.coords, eps):
+                if qid == rid:
+                    continue
+                q = records[qid]
+                if q.deleted:
+                    # A lingering exited ex-core: part of the retro chain.
+                    if q.was_core and qid not in retro:
+                        retro.add(qid)
+                        remaining.discard(qid)
+                        queue.append(qid)
+                    continue
+                q_core_now = q.n_eps >= tau
+                if q.was_core and not q_core_now:
+                    # In-window ex-core: extend the retro class.
+                    if qid not in retro:
+                        retro.add(qid)
+                        remaining.discard(qid)
+                        queue.append(qid)
+                elif q_core_now and q.was_core and qid not in bonding_seen:
+                    # Core in both windows adjacent to R^-: an M^- member.
+                    bonding_seen.add(qid)
+                    bonding.append(qid)
+                if r_in_window:
+                    # rid lost core status: its neighbours lose a core
+                    # neighbour. (Exited ex-cores were already accounted for
+                    # during COLLECT.)
+                    q.c_core -= 1
+                    if not q_core_now:
+                        if q.anchor == rid or q.c_core == 0:
+                            q.anchor = None
+                        if q.c_core > 0 and q.anchor is None:
+                            state.repair.add(qid)
+                if q_core_now and r_in_window and rec_r.anchor is None:
+                    # The demoted ex-core itself may become a border.
+                    rec_r.anchor = qid
+            if r_in_window and rec_r.c_core > 0 and rec_r.anchor is None:
+                state.repair.add(rid)
+
+        events.append(
+            _resolve_ex_class(
+                state,
+                index,
+                seed,
+                bonding,
+                kept,
+                split_claimed,
+                multi_starter=multi_starter,
+                epoch_probing=epoch_probing,
+                on_border=on_border,
+            )
+        )
+    events.extend(
+        _settle_claims(
+            state,
+            index,
+            kept,
+            split_claimed,
+            multi_starter=multi_starter,
+            epoch_probing=epoch_probing,
+            on_border=on_border,
+        )
+    )
+    return events
+
+
+def _claim(state: WindowState, kept: dict[int, list[int]], rep: int) -> int:
+    """Record that ``rep``'s component retains its current cluster id."""
+    cid = state.cids.find(state.records[rep].cid)
+    kept.setdefault(cid, []).append(rep)
+    return cid
+
+
+def _settle_claims(
+    state: WindowState,
+    index,
+    kept: dict[int, list[int]],
+    split_claimed: set[int],
+    *,
+    multi_starter: bool,
+    epoch_probing: bool,
+    on_border,
+) -> list[EvolutionEvent]:
+    """Ensure each retained cluster id labels exactly one component.
+
+    Only ids claimed by at least one *split survivor* can be contested: if
+    an old cluster fragmented, the class spanning two of its fragments saw a
+    disconnected ``M^-`` and split, and its survivor claimed the id. For each
+    such id with two or more claimants, one connectivity check over the
+    claimant representatives decides: all connected (the common case — the
+    check meets in the middle and exits early) means the shared id is
+    legitimate; otherwise the exhausted components are fragments that must
+    take fresh ids. Returns the extra split events this produces.
+    """
+    records = state.records
+    events: list[EvolutionEvent] = []
+    for cid in split_claimed:
+        reps = kept.get(cid, ())
+        live = []
+        seen: set[int] = set()
+        for rep in reps:
+            rec = records.get(rep)
+            if (
+                rec is not None
+                and state.is_core(rec)
+                and state.cids.find(rec.cid) == cid
+                and rep not in seen
+            ):
+                seen.add(rep)
+                live.append(rep)
+        if len(live) < 2:
+            continue
+        result = check_connectivity(
+            index,
+            state,
+            live,
+            multi_starter=multi_starter,
+            epoch_probing=epoch_probing,
+            on_border=on_border,
+        )
+        if result.connected:
+            continue
+        new_cids = []
+        for component in result.exhausted:
+            fresh = state.cids.make()
+            new_cids.append(fresh)
+            for pid in component:
+                records[pid].cid = fresh
+        events.append(
+            EvolutionEvent(EvolutionKind.SPLIT, (cid, *new_cids), trigger=live[0])
+        )
+    return events
+
+
+def _resolve_ex_class(
+    state: WindowState,
+    index,
+    seed: int,
+    bonding: list[int],
+    kept: dict[int, list[int]],
+    split_claimed: set[int],
+    *,
+    multi_starter: bool,
+    epoch_probing: bool,
+    on_border,
+) -> EvolutionEvent:
+    """Decide split / shrink / dissipate for one retro class."""
+    records = state.records
+    if not bonding:
+        return EvolutionEvent(EvolutionKind.DISSIPATE, trigger=seed)
+    if len(bonding) == 1:
+        cid = _claim(state, kept, bonding[0])
+        return EvolutionEvent(EvolutionKind.SHRINK, (cid,), trigger=seed)
+
+    result = check_connectivity(
+        index,
+        state,
+        bonding,
+        multi_starter=multi_starter,
+        epoch_probing=epoch_probing,
+        on_border=on_border,
+    )
+    if result.connected:
+        cid = _claim(state, kept, bonding[0])
+        return EvolutionEvent(EvolutionKind.SHRINK, (cid,), trigger=seed)
+
+    # Split: each fully traversed component becomes a new cluster; the
+    # surviving search's component claims the old cluster id, subject to the
+    # end-of-stride reconciliation in _settle_claims (DESIGN.md §3.2, §3.4).
+    new_cids = []
+    for component in result.exhausted:
+        cid = state.cids.make()
+        new_cids.append(cid)
+        kept[cid] = [component[0]]
+        for pid in component:
+            records[pid].cid = cid
+    survivor_cid = _claim(state, kept, result.survivor[0])
+    split_claimed.add(survivor_cid)
+    return EvolutionEvent(
+        EvolutionKind.SPLIT, (survivor_cid, *new_cids), trigger=seed
+    )
+
+
+def process_neo_cores(
+    state: WindowState, index, neo_cores: list[int]
+) -> list[EvolutionEvent]:
+    """Handle cluster evolution caused by neo-cores (Algorithm 2, lines 9-13).
+
+    Returns one event per nascent-reachability class. Unlike ex-cores, no
+    connectivity check is needed: the labels of ``M^+`` decide everything.
+    """
+    params = state.params
+    eps = params.eps
+    tau = params.tau
+    records = state.records
+    cids = state.cids
+    events: list[EvolutionEvent] = []
+
+    remaining = set(neo_cores)
+    while remaining:
+        seed = remaining.pop()
+        group = [seed]
+        seen = {seed}
+        queue: deque[int] = deque([seed])
+        bonding_roots: set[int] = set()
+        while queue:
+            sid = queue.popleft()
+            rec_s = records[sid]
+            if rec_s.cid is not None:
+                # Pre-assigned by a split relabel earlier this stride; fold it
+                # in so the final assignment stays consistent.
+                bonding_roots.add(cids.find(rec_s.cid))
+            for qid, _ in index.ball(rec_s.coords, eps):
+                if qid == sid:
+                    continue
+                q = records[qid]
+                if q.deleted:
+                    continue
+                # sid gained core status: neighbours gain a core neighbour.
+                q.c_core += 1
+                if q.n_eps < tau:
+                    if q.anchor is None:
+                        q.anchor = sid
+                        state.repair.discard(qid)
+                elif q.was_core:
+                    # Core in both windows: an M^+ member; read its label.
+                    assert q.cid is not None, f"old core {qid} lacks a cid"
+                    bonding_roots.add(cids.find(q.cid))
+                elif qid not in seen:
+                    # Fellow neo-core: extend the nascent class.
+                    seen.add(qid)
+                    remaining.discard(qid)
+                    queue.append(qid)
+                    group.append(qid)
+
+        if not bonding_roots:
+            cid = cids.make()
+            kind = EvolutionKind.EMERGE
+        elif len(bonding_roots) == 1:
+            cid = next(iter(bonding_roots))
+            kind = EvolutionKind.EXPAND
+        else:
+            roots = iter(bonding_roots)
+            cid = next(roots)
+            for other in roots:
+                cid = cids.union(cid, other)
+            kind = EvolutionKind.MERGE
+        for pid in group:
+            rec = records[pid]
+            rec.cid = cid
+            rec.anchor = None  # cores do not use anchors
+            state.repair.discard(pid)
+        events.append(EvolutionEvent(kind, (cids.find(cid),), trigger=seed))
+    return events
+
+
+def repair_anchors(state: WindowState, index) -> int:
+    """Re-anchor borders whose anchor core vanished (Section V, last resort).
+
+    Each repair costs one range search. Returns the number of searches spent.
+    """
+    params = state.params
+    eps = params.eps
+    tau = params.tau
+    records = state.records
+    searches = 0
+    for pid in state.repair:
+        rec = records.get(pid)
+        if rec is None or rec.deleted:
+            continue
+        if rec.n_eps >= tau or rec.c_core <= 0:
+            continue  # became a core, or is plain noise: no anchor needed
+        anchor = records.get(rec.anchor) if rec.anchor is not None else None
+        if anchor is not None and not anchor.deleted and anchor.n_eps >= tau:
+            continue  # anchor is still a live core
+        rec.anchor = None
+        searches += 1
+        for qid, _ in index.ball(rec.coords, eps):
+            if qid == pid:
+                continue
+            q = records[qid]
+            if not q.deleted and q.n_eps >= tau:
+                rec.anchor = qid
+                break
+        assert rec.anchor is not None, (
+            f"border {pid} has c_core={rec.c_core} but no core neighbour"
+        )
+    state.repair.clear()
+    return searches

@@ -1,0 +1,148 @@
+"""The COLLECT step (paper Algorithm 1).
+
+COLLECT brings every ``n_eps`` count up to date for one window advance,
+removes exiting points from the index (except ex-cores, which must stay
+visible to the CLUSTER step), inserts entering points, and identifies the two
+sets that drive all cluster evolution: *ex-cores* and *neo-cores*.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.common.errors import StreamOrderError
+from repro.common.points import StreamPoint
+from repro.core.state import PointRecord, WindowState
+
+
+@dataclass
+class CollectResult:
+    """What COLLECT hands to the CLUSTER step."""
+
+    ex_cores: list[int] = field(default_factory=list)
+    neo_cores: list[int] = field(default_factory=list)
+    c_out: list[int] = field(default_factory=list)  # ex-cores in delta_out
+    deleted_ids: list[int] = field(default_factory=list)  # all of delta_out
+
+
+def collect(
+    state: WindowState,
+    index,
+    delta_in: Sequence[StreamPoint],
+    delta_out: Sequence[StreamPoint],
+) -> CollectResult:
+    """Run COLLECT for one stride; returns ex-cores, neo-cores and C_out.
+
+    One range search is executed per point in ``delta_out`` and per point in
+    ``delta_in`` — exactly the paper's accounting. Alongside the ``n_eps``
+    updates of Algorithm 1, the same searches maintain each point's core
+    neighbour count ``c_core`` (the border bookkeeping of DESIGN.md §3.3).
+    """
+    params = state.params
+    eps = params.eps
+    tau = params.tau
+    records = state.records
+    result = CollectResult()
+    touched: set[int] = set()
+
+    _validate_deltas(records, delta_in, delta_out)
+
+    # --- departures (Algorithm 1, lines 2-7) -------------------------------
+    for sp in delta_out:
+        rec = records[sp.pid]
+        was_core = rec.was_core
+        neighbours = index.ball(rec.coords, eps)
+        if was_core:
+            # Ex-cores linger in the index until CLUSTER finishes (line 3).
+            result.c_out.append(rec.pid)
+        else:
+            index.delete(rec.pid)
+        for qid, _ in neighbours:
+            if qid == rec.pid:
+                continue
+            q = records[qid]
+            if q.deleted:
+                continue
+            q.n_eps -= 1
+            touched.add(qid)
+            if was_core:
+                q.c_core -= 1
+                if q.anchor == rec.pid or q.c_core == 0:
+                    q.anchor = None
+                if q.c_core > 0 and q.anchor is None and q.n_eps < tau:
+                    state.repair.add(qid)
+        rec.deleted = True
+        rec.n_eps = 0
+        rec.c_core = 0
+        result.deleted_ids.append(rec.pid)
+        touched.discard(rec.pid)
+
+    # --- arrivals (Algorithm 1, lines 8-12) --------------------------------
+    for sp in delta_in:
+        rec = PointRecord(sp.pid, tuple(sp.coords), sp.time)
+        records[sp.pid] = rec
+        index.insert(sp.pid, rec.coords)
+        for qid, _ in index.ball(rec.coords, eps):
+            if qid == sp.pid:
+                continue
+            q = records[qid]
+            if q.deleted:
+                continue
+            q.n_eps += 1
+            rec.n_eps += 1
+            touched.add(qid)
+            if q.was_core:
+                # q is a core of the previous window still present; whether it
+                # survives as a core is settled by CLUSTER (ex-core handling
+                # decrements again if it does not).
+                rec.c_core += 1
+                if rec.anchor is None:
+                    rec.anchor = qid
+        touched.add(sp.pid)
+
+    # --- classify the flips (Algorithm 1, line 13) -------------------------
+    for pid in touched:
+        rec = records[pid]
+        if rec.deleted:
+            continue
+        is_core = rec.n_eps >= tau
+        if rec.was_core and not is_core:
+            result.ex_cores.append(pid)
+        elif is_core and not rec.was_core:
+            result.neo_cores.append(pid)
+    result.ex_cores.extend(result.c_out)
+    return result
+
+
+def _validate_deltas(
+    records: dict[int, PointRecord],
+    delta_in: Sequence[StreamPoint],
+    delta_out: Sequence[StreamPoint],
+) -> None:
+    """Reject malformed deltas *before* any state is mutated.
+
+    COLLECT mutates counts, labels and the index as it goes; validating up
+    front keeps ``advance`` atomic — a rejected stride leaves the clusterer
+    exactly as it was, so callers can catch :class:`StreamOrderError` and
+    continue.
+    """
+    out_ids: set[int] = set()
+    for sp in delta_out:
+        rec = records.get(sp.pid)
+        if rec is None or rec.deleted:
+            raise StreamOrderError(f"cannot delete {sp.pid}: not in the window")
+        if sp.pid in out_ids:
+            raise StreamOrderError(f"point {sp.pid} deleted twice in one stride")
+        out_ids.add(sp.pid)
+    in_ids: set[int] = set()
+    for sp in delta_in:
+        if sp.pid in records:
+            raise StreamOrderError(
+                f"cannot insert {sp.pid}: id already in window"
+            )
+        if sp.pid in in_ids:
+            raise StreamOrderError(
+                f"point {sp.pid} inserted twice in one stride"
+            )
+        in_ids.add(sp.pid)

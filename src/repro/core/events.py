@@ -1,0 +1,62 @@
+"""Cluster-evolution events reported per stride.
+
+The paper names six evolution types (Section III-C): clusters may *split*,
+*shrink* or *dissipate* under ex-cores, and *merge*, *expand* or *emerge*
+under neo-cores. DISC reports one event per processed reachability class so
+applications (e.g. traffic monitoring) can react to topology changes without
+diffing snapshots.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class EvolutionKind(enum.Enum):
+    """The six cluster-evolution types of the paper."""
+
+    SPLIT = "split"
+    SHRINK = "shrink"
+    DISSIPATE = "dissipate"
+    MERGE = "merge"
+    EXPAND = "expand"
+    EMERGE = "emerge"
+
+
+@dataclass(frozen=True)
+class EvolutionEvent:
+    """One evolution event.
+
+    Attributes:
+        kind: which of the six evolution types occurred.
+        cluster_ids: the (resolved) cluster ids involved *after* the event —
+            the resulting fragments for a split, the surviving cluster for a
+            merge/expand, the new cluster for an emerge, and the empty tuple
+            for dissipation.
+        trigger: the ex-core or neo-core whose reachability class caused the
+            event (the class representative DISC actually processed).
+    """
+
+    kind: EvolutionKind
+    cluster_ids: tuple[int, ...] = ()
+    trigger: int | None = None
+
+
+@dataclass
+class StrideSummary:
+    """What one window advance did, as reported by a stream clusterer.
+
+    Exact incremental methods fill every field; approximate baselines fill
+    what applies to them and leave the rest at defaults.
+    """
+
+    events: list[EvolutionEvent] = field(default_factory=list)
+    num_ex_cores: int = 0
+    num_neo_cores: int = 0
+    num_inserted: int = 0
+    num_deleted: int = 0
+
+    def count(self, kind: EvolutionKind) -> int:
+        """Number of events of one kind in this stride."""
+        return sum(1 for event in self.events if event.kind is kind)

@@ -1,0 +1,234 @@
+"""Multi-Starter BFS — the paper's Algorithm 3 — plus the classic fallback.
+
+Given the minimal bonding cores of an ex-core, DISC must decide whether they
+are density-connected in the *current* core graph (vertices = current cores,
+edges = epsilon-neighbour pairs), where the graph is never materialised:
+every expansion is a range search against the spatial index.
+
+:func:`check_connectivity` implements both strategies behind one interface:
+
+- ``multi_starter=True`` (MS-BFS): one BFS per seed, advanced round-robin.
+  When two searches meet they merge queues and continue as one. The check
+  stops as soon as a single search remains — in the common no-split case that
+  happens long before the cluster is exhausted.
+- ``multi_starter=False`` (classic): one BFS at a time, run to exhaustion of
+  its component before the next unreached seed starts. This is what a
+  straightforward IncDBSCAN-style implementation does and is the "neither /
+  epoch-only" arm of the paper's Figure 8 ablation.
+
+Epoch-based probing (``epoch_probing=True``) is orthogonal: expansions use
+:meth:`ball_unvisited` with the current tick, so regions already covered are
+pruned inside the index. Marking discipline (see ``repro.index.rtree``):
+non-core points are marked when first returned (they are never expanded);
+core vertices are marked only when *expanded*, so converging searches still
+see each other's frontier cores and can merge.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+from repro.common.disjointset import DisjointSet
+from repro.core.state import WindowState
+
+
+@dataclass
+class ConnectivityResult:
+    """Outcome of a density-connectedness check over a seed set.
+
+    Attributes:
+        num_components: connected components of the core graph touched by the
+            seeds (0 when the seed set was empty).
+        exhausted: fully traversed components, as lists of core pids; on a
+            split these receive fresh cluster ids.
+        survivor: cores visited by the search that was still running when the
+            check stopped early; its component keeps the old cluster id and
+            may be only partially traversed.
+    """
+
+    num_components: int = 0
+    exhausted: list[list[int]] = field(default_factory=list)
+    survivor: list[int] = field(default_factory=list)
+
+    @property
+    def connected(self) -> bool:
+        return self.num_components <= 1
+
+
+def check_connectivity(
+    index,
+    state: WindowState,
+    seeds: Iterable[int],
+    *,
+    multi_starter: bool = True,
+    epoch_probing: bool = True,
+    on_border: Callable[[int, int], None] | None = None,
+) -> ConnectivityResult:
+    """Count core-graph components reachable from ``seeds``.
+
+    Args:
+        index: spatial index holding every point in the window (plus any
+            lingering exited ex-cores, which are skipped as deleted).
+        state: window state providing per-point records.
+        seeds: core pids — the minimal bonding cores ``M^-(p)``.
+        multi_starter: use MS-BFS (True) or sequential BFS (False).
+        epoch_probing: use epoch-filtered index probes.
+        on_border: optional callback ``(border_pid, expanding_core_pid)``
+            invoked for every non-core point seen during expansion; DISC uses
+            it to refresh border anchors (Section V).
+
+    Returns:
+        A :class:`ConnectivityResult`; traversal touches only the components
+        containing seeds and stops as early as the strategy allows.
+    """
+    seed_list = list(dict.fromkeys(seeds))
+    if not seed_list:
+        return ConnectivityResult()
+
+    records = state.records
+    tau = state.params.tau
+    eps = state.params.eps
+
+    tick = index.new_tick() if epoch_probing else None
+
+    def is_core_pid(pid: int) -> bool:
+        rec = records[pid]
+        return not rec.deleted and rec.n_eps >= tau
+
+    def should_mark(pid: int) -> bool:
+        # Mark non-cores at first sight; cores only at expansion (see above).
+        return not is_core_pid(pid)
+
+    groups = DisjointSet()
+    owner: dict[int, int] = {}
+    queues: dict[int, deque[int]] = {}
+    members: dict[int, list[int]] = {}
+    for seed in seed_list:
+        gid = groups.make()
+        owner[seed] = gid
+        queues[gid] = deque([seed])
+        members[gid] = [seed]
+
+    alive: set[int] = set(queues)
+    rotation: deque[int] = deque(queues)
+    expanded: set[int] = set()
+    exhausted: list[list[int]] = []
+
+    def expand(pid: int, group_root: int) -> int:
+        """Expand one core vertex; returns the (possibly merged) group root."""
+        rec = records[pid]
+        if epoch_probing:
+            neighbours = index.ball_unvisited(rec.coords, eps, tick, should_mark)
+            index.mark(pid, tick)
+        else:
+            neighbours = index.ball(rec.coords, eps)
+        root = group_root
+        for qid, _ in neighbours:
+            if qid == pid:
+                continue
+            q = records[qid]
+            if q.deleted:
+                continue
+            if q.n_eps >= tau:
+                other = owner.get(qid)
+                if other is None:
+                    owner[qid] = root
+                    members[root].append(qid)
+                    queues[root].append(qid)
+                    continue
+                other_root = groups.find(other)
+                root_now = groups.find(root)
+                if other_root != root_now:
+                    winner = groups.union(other_root, root_now)
+                    loser = other_root if winner == root_now else root_now
+                    queues[winner].extend(queues.pop(loser))
+                    members[winner].extend(members.pop(loser))
+                    alive.discard(loser)
+                    root = winner
+            elif on_border is not None:
+                on_border(qid, pid)
+        return root
+
+    while len(alive) > 1:
+        gid = rotation.popleft()
+        root = groups.find(gid)
+        if root != gid or root not in alive:
+            continue  # stale rotation entry: this group merged into another
+        queue = queues[root]
+        # Skip entries already expanded under a merged group.
+        while queue and queue[0] in expanded:
+            queue.popleft()
+        if not queue:
+            alive.discard(root)
+            exhausted.append(members.pop(root))
+            del queues[root]
+            continue
+        if multi_starter:
+            pid = queue.popleft()
+            expanded.add(pid)
+            root = expand(pid, root)
+            rotation.append(root)
+        else:
+            # Classic mode: run this search to exhaustion (or early exit).
+            while len(alive) > 1:
+                while queue and queue[0] in expanded:
+                    queue.popleft()
+                if not queue:
+                    alive.discard(root)
+                    exhausted.append(members.pop(root))
+                    del queues[root]
+                    break
+                pid = queue.popleft()
+                expanded.add(pid)
+                new_root = expand(pid, root)
+                if new_root != root:
+                    root = new_root
+                    queue = queues[root]
+
+    survivor_root = next(iter(alive))
+    survivor = members.pop(survivor_root)
+    return ConnectivityResult(
+        num_components=len(exhausted) + 1,
+        exhausted=exhausted,
+        survivor=survivor,
+    )
+
+
+def collect_component(
+    index,
+    state: WindowState,
+    start: int,
+    *,
+    on_border: Callable[[int, int], None] | None = None,
+) -> list[int]:
+    """Fully traverse the current-core component containing ``start``.
+
+    Used when a partially traversed component must be pinned down — e.g. to
+    resolve a kept-cluster-id conflict between two reachability classes that
+    carved the same old cluster (see ``repro.core.cluster``). Plain range
+    searches; one per expanded core.
+    """
+    records = state.records
+    tau = state.params.tau
+    eps = state.params.eps
+    seen = {start}
+    queue: deque[int] = deque([start])
+    component = [start]
+    while queue:
+        pid = queue.popleft()
+        for qid, _ in index.ball(records[pid].coords, eps):
+            if qid == pid:
+                continue
+            q = records[qid]
+            if q.deleted:
+                continue
+            if q.n_eps >= tau:
+                if qid not in seen:
+                    seen.add(qid)
+                    component.append(qid)
+                    queue.append(qid)
+            elif on_border is not None:
+                on_border(qid, pid)
+    return component

@@ -1,0 +1,140 @@
+"""Per-point window state shared by the COLLECT and CLUSTER steps.
+
+Each point in the current window carries exactly the bookkeeping the paper
+requires: its epsilon-neighbour count ``n_eps`` (self included), the derived
+core status plus the *previous* window's core status (``was_core``), its
+cluster id for cores, and the border machinery — ``c_core`` (how many current
+cores lie within epsilon) and ``anchor`` (one such core, through which the
+border's cluster id is resolved). See DESIGN.md §3.3.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.common.config import ClusteringParams
+from repro.common.disjointset import DisjointSet
+from repro.common.errors import StreamOrderError
+from repro.common.snapshot import Category, Clustering
+
+Coords = tuple[float, ...]
+
+
+class PointRecord:
+    """Mutable bookkeeping for one point in (or just leaving) the window."""
+
+    __slots__ = (
+        "pid",
+        "coords",
+        "n_eps",
+        "c_core",
+        "was_core",
+        "cid",
+        "anchor",
+        "deleted",
+        "time",
+    )
+
+    def __init__(self, pid: int, coords: Coords, time: float = 0.0) -> None:
+        self.pid = pid
+        self.coords = coords
+        self.n_eps = 1  # a point is its own epsilon-neighbour
+        self.c_core = 0  # current cores within eps, excluding the point itself
+        self.was_core = False  # core status at the end of the previous stride
+        self.cid: int | None = None  # raw cluster id; resolve through DisjointSet
+        self.anchor: int | None = None  # a core neighbour lending borders a cid
+        self.deleted = False  # exited the window (ex-cores linger in the index)
+        self.time = time
+
+    def __repr__(self) -> str:
+        return (
+            f"PointRecord(pid={self.pid}, n={self.n_eps}, c_core={self.c_core}, "
+            f"was_core={self.was_core}, cid={self.cid}, deleted={self.deleted})"
+        )
+
+
+class WindowState:
+    """All per-point records plus the cluster-id disjoint set.
+
+    The spatial index lives next to this object inside
+    :class:`~repro.core.disc.DISC`; this class only owns the records so the
+    COLLECT/CLUSTER functions can be tested against it in isolation.
+    """
+
+    def __init__(self, params: ClusteringParams) -> None:
+        self.params = params
+        self.records: dict[int, PointRecord] = {}
+        self.cids = DisjointSet()
+        # Non-core points whose border anchor was invalidated this stride and
+        # needs one repair range search at the end of CLUSTER.
+        self.repair: set[int] = set()
+
+    def is_core(self, rec: PointRecord) -> bool:
+        """Current core status, derived from the live neighbour count."""
+        return not rec.deleted and rec.n_eps >= self.params.tau
+
+    def get(self, pid: int) -> PointRecord:
+        try:
+            return self.records[pid]
+        except KeyError:
+            raise StreamOrderError(f"point {pid} is not in the window") from None
+
+    def live_records(self) -> Iterable[PointRecord]:
+        """Records of points currently inside the window."""
+        return (rec for rec in self.records.values() if not rec.deleted)
+
+    def category_of(self, rec: PointRecord) -> Category:
+        if rec.deleted:
+            return Category.DELETED
+        if rec.n_eps >= self.params.tau:
+            return Category.CORE
+        if rec.c_core > 0:
+            return Category.BORDER
+        return Category.NOISE
+
+    def resolved_cid(self, rec: PointRecord) -> int:
+        """Cluster id of a core or border record, resolved through union-find."""
+        if self.is_core(rec):
+            assert rec.cid is not None, f"core {rec.pid} has no cluster id"
+            return self.cids.find(rec.cid)
+        assert rec.anchor is not None, f"border {rec.pid} has no anchor"
+        anchor = self.records[rec.anchor]
+        assert self.is_core(anchor), (
+            f"border {rec.pid} anchored to non-core {rec.anchor}"
+        )
+        assert anchor.cid is not None
+        return self.cids.find(anchor.cid)
+
+    def compact_cids(self) -> int:
+        """Rebuild the cluster-id forest keeping only live roots.
+
+        Every emerge/split mints a fresh id and every merge leaves a
+        redirection chain behind, so over a long stream the disjoint set
+        grows without bound even while the window stays small. Compaction
+        resolves every core's id to its root and drops everything else.
+        Returns the number of forest entries after compaction.
+        """
+        fresh = DisjointSet()
+        live_roots: set[int] = set()
+        for rec in self.records.values():
+            if rec.cid is not None and not rec.deleted:
+                root = self.cids.find(rec.cid)
+                rec.cid = root
+                live_roots.add(root)
+        for root in live_roots:
+            fresh.find(root)  # registers the id as its own singleton
+        # Never reuse an id: carry the counter forward.
+        fresh._next_id = max(self.cids._next_id, fresh._next_id)
+        self.cids = fresh
+        return len(fresh)
+
+    def snapshot(self) -> Clustering:
+        """Freeze the current labels into a :class:`Clustering`."""
+        labels: dict[int, int] = {}
+        categories: dict[int, Category] = {}
+        for rec in self.live_records():
+            category = self.category_of(rec)
+            categories[rec.pid] = category
+            if category in (Category.CORE, Category.BORDER):
+                labels[rec.pid] = self.resolved_cid(rec)
+        return Clustering(labels, categories)

@@ -1,0 +1,118 @@
+"""Cluster lineage tracking across window advances.
+
+The paper's introduction motivates continuous clustering with applications
+like community tracking over social networks: users care not only about the
+clusters *now* but about how each cluster evolved — when it was born, what it
+merged with, what split off it. DISC's evolution events carry exactly that
+information; this tracker folds them into persistent lineages.
+
+Example:
+    >>> tracker = ClusterTracker()
+    >>> summary = disc.advance(delta_in, delta_out)     # doctest: +SKIP
+    >>> tracker.observe(summary, stride=3)              # doctest: +SKIP
+    >>> tracker.lineage_of(cluster_id)                  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.events import EvolutionKind, StrideSummary
+
+
+@dataclass
+class Lineage:
+    """The life story of one cluster id.
+
+    Attributes:
+        cluster_id: the (resolved) id this lineage describes.
+        born_at: stride index when the cluster first appeared.
+        died_at: stride index when it dissipated or was merged away.
+        parents: cluster ids it absorbed (merge) or split from.
+        children: cluster ids that split off it or absorbed it.
+        events: (stride, kind) history in order.
+    """
+
+    cluster_id: int
+    born_at: int
+    died_at: int | None = None
+    parents: list[int] = field(default_factory=list)
+    children: list[int] = field(default_factory=list)
+    events: list[tuple[int, EvolutionKind]] = field(default_factory=list)
+
+    @property
+    def alive(self) -> bool:
+        return self.died_at is None
+
+
+class ClusterTracker:
+    """Folds per-stride evolution events into cluster lineages."""
+
+    def __init__(self) -> None:
+        self._lineages: dict[int, Lineage] = {}
+
+    def _ensure(self, cid: int, stride: int) -> Lineage:
+        lineage = self._lineages.get(cid)
+        if lineage is None:
+            lineage = Lineage(cluster_id=cid, born_at=stride)
+            self._lineages[cid] = lineage
+        return lineage
+
+    def observe(self, summary: StrideSummary, stride: int) -> None:
+        """Fold one stride's events into the lineages."""
+        for event in summary.events:
+            kind = event.kind
+            ids = event.cluster_ids
+            if kind is EvolutionKind.EMERGE:
+                lineage = self._ensure(ids[0], stride)
+                lineage.events.append((stride, kind))
+            elif kind is EvolutionKind.MERGE:
+                survivor = self._ensure(ids[0], stride)
+                survivor.events.append((stride, kind))
+                # Other participants' ids resolved away; mark any lineage we
+                # know about that is no longer its own root as absorbed.
+                for cid, lineage in self._lineages.items():
+                    if cid != ids[0] and lineage.alive and cid in ids[1:]:
+                        lineage.died_at = stride
+                        lineage.children.append(ids[0])
+                        survivor.parents.append(cid)
+            elif kind is EvolutionKind.SPLIT:
+                survivor_id, *fragment_ids = ids
+                survivor = self._ensure(survivor_id, stride)
+                survivor.events.append((stride, kind))
+                for fragment_id in fragment_ids:
+                    fragment = self._ensure(fragment_id, stride)
+                    fragment.parents.append(survivor_id)
+                    survivor.children.append(fragment_id)
+            elif kind is EvolutionKind.DISSIPATE:
+                # The class representative's cluster vanished; events carry
+                # no id for a fully gone cluster, so nothing to close here
+                # beyond recording the observation for listeners.
+                continue
+            else:  # EXPAND / SHRINK: life goes on
+                if ids:
+                    lineage = self._ensure(ids[0], stride)
+                    lineage.events.append((stride, kind))
+
+    def close_missing(self, live_cluster_ids: set[int], stride: int) -> None:
+        """Mark lineages absent from the live snapshot as dead.
+
+        Call with ``set(snapshot.core_clusters())`` after :meth:`observe` to
+        catch dissipations (which carry no surviving cluster id) and merges
+        whose losers were not tracked yet.
+        """
+        for cid, lineage in self._lineages.items():
+            if lineage.alive and cid not in live_cluster_ids:
+                lineage.died_at = stride
+
+    def lineage_of(self, cid: int) -> Lineage:
+        return self._lineages[cid]
+
+    def alive(self) -> list[Lineage]:
+        return [lin for lin in self._lineages.values() if lin.alive]
+
+    def all_lineages(self) -> list[Lineage]:
+        return list(self._lineages.values())
+
+    def __len__(self) -> int:
+        return len(self._lineages)

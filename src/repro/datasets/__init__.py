@@ -1,0 +1,34 @@
+"""Dataset simulators standing in for the paper's evaluation data.
+
+The paper's four real datasets (DTG, GeoLife, COVID-19, IRIS) are proprietary
+or unavailable offline; each has a generator here reproducing the structural
+properties the evaluation depends on (see DESIGN.md §5). The Maze dataset is
+synthetic in the paper too and follows its published recipe exactly.
+
+All generators are deterministic given a seed and return
+:class:`~repro.common.points.StreamPoint` lists in arrival order.
+"""
+
+from repro.datasets.covid import covid_stream
+from repro.datasets.dtg import dtg_stream
+from repro.datasets.geolife import geolife_stream
+from repro.datasets.iris_eq import iris_stream
+from repro.datasets.maze import maze_stream
+from repro.datasets.netflow import netflow_stream
+from repro.datasets.registry import DATASETS, DatasetInfo, load_dataset
+from repro.datasets.synthetic import blob_stream, drifting_blob_stream, uniform_noise
+
+__all__ = [
+    "DATASETS",
+    "DatasetInfo",
+    "blob_stream",
+    "covid_stream",
+    "drifting_blob_stream",
+    "dtg_stream",
+    "geolife_stream",
+    "iris_stream",
+    "load_dataset",
+    "maze_stream",
+    "netflow_stream",
+    "uniform_noise",
+]

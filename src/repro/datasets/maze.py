@@ -1,0 +1,83 @@
+"""The Maze dataset, following the paper's own recipe (Section VI-E).
+
+"The synthetic dataset Maze was created by placing 100 random seeds in the
+2-dimensional space. They spread out over time such that the trajectory of
+each seed was mapped to a single cluster. When the window size increased,
+trajectories became longer and closer to one another, and consequently the
+shape of clusters grew more complicated. We manually labeled each point in
+the Maze dataset so that each trajectory could be identified clearly as a
+separate cluster."
+
+Each seed performs an axis-aligned random walk (corridor-like trajectories —
+hence "maze"); emitted points carry small jitter so the trajectory is a dense
+band. Ground truth: the seed index.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.common.points import StreamPoint
+
+
+def maze_stream(
+    n_points: int,
+    *,
+    n_seeds: int = 100,
+    extent: float = 250.0,
+    step: float = 0.35,
+    jitter: float = 0.05,
+    turn_probability: float = 0.05,
+    seed: int = 0,
+    start_id: int = 0,
+) -> tuple[list[StreamPoint], dict[int, int]]:
+    """Generate the Maze stream.
+
+    Args:
+        n_points: total stream length (walkers emit round-robin).
+        n_seeds: number of trajectories (100 in the paper).
+        extent: side of the square arena the walkers bounce inside.
+        step: distance a walker advances per emitted point; with the default
+            jitter this keeps consecutive points within a typical Maze eps.
+        jitter: Gaussian noise on each emitted point.
+        turn_probability: chance per step of turning 90 degrees, producing
+            the maze-like corridors.
+        seed: RNG seed.
+        start_id: first point id.
+
+    Returns:
+        ``(points, truth)`` where truth maps point id -> seed index.
+    """
+    rng = random.Random(seed)
+    positions = [
+        [rng.uniform(0.0, extent), rng.uniform(0.0, extent)]
+        for _ in range(n_seeds)
+    ]
+    directions = [rng.choice([(1, 0), (-1, 0), (0, 1), (0, -1)]) for _ in range(n_seeds)]
+
+    points: list[StreamPoint] = []
+    truth: dict[int, int] = {}
+    for i in range(n_points):
+        walker = i % n_seeds
+        pos = positions[walker]
+        if rng.random() < turn_probability:
+            dx, dy = directions[walker]
+            directions[walker] = rng.choice([(dy, dx), (-dy, -dx)])
+        dx, dy = directions[walker]
+        pos[0] += dx * step
+        pos[1] += dy * step
+        # Bounce off the arena walls by reversing direction.
+        if not 0.0 <= pos[0] <= extent:
+            pos[0] = min(max(pos[0], 0.0), extent)
+            directions[walker] = (-dx, dy)
+        if not 0.0 <= pos[1] <= extent:
+            pos[1] = min(max(pos[1], 0.0), extent)
+            directions[walker] = (dx, -dy)
+        pid = start_id + i
+        coords = (
+            pos[0] + rng.gauss(0.0, jitter),
+            pos[1] + rng.gauss(0.0, jitter),
+        )
+        points.append(StreamPoint(pid, coords, float(pid)))
+        truth[pid] = walker
+    return points, truth

@@ -1,0 +1,130 @@
+"""Generic synthetic streams for tests and examples."""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.common.points import StreamPoint
+
+Coords = tuple[float, ...]
+
+
+def blob_stream(
+    n_points: int,
+    centers: list[Coords],
+    *,
+    spread: float = 0.5,
+    noise_fraction: float = 0.1,
+    bounds: tuple[float, float] = (-10.0, 10.0),
+    seed: int = 0,
+    start_id: int = 0,
+) -> list[StreamPoint]:
+    """Points drawn from Gaussian blobs plus uniform background noise.
+
+    Args:
+        n_points: total stream length.
+        centers: blob centres (all same dimensionality).
+        spread: standard deviation of each blob.
+        noise_fraction: probability a point is uniform noise instead.
+        bounds: noise bounding box per dimension.
+        seed: RNG seed (the stream is fully deterministic).
+        start_id: first point id.
+    """
+    rng = random.Random(seed)
+    dim = len(centers[0])
+    points = []
+    for i in range(n_points):
+        if rng.random() < noise_fraction:
+            coords = tuple(rng.uniform(*bounds) for _ in range(dim))
+        else:
+            center = rng.choice(centers)
+            coords = tuple(c + rng.gauss(0.0, spread) for c in center)
+        points.append(StreamPoint(start_id + i, coords, float(start_id + i)))
+    return points
+
+
+def drifting_blob_stream(
+    n_points: int,
+    n_blobs: int = 4,
+    *,
+    dim: int = 2,
+    spread: float = 0.4,
+    drift: float = 0.002,
+    noise_fraction: float = 0.05,
+    seed: int = 0,
+    start_id: int = 0,
+) -> list[StreamPoint]:
+    """Gaussian blobs whose centres drift over time.
+
+    Drifting centres exercise every evolution type — clusters emerge where a
+    blob arrives, dissipate where it left, and split/merge as blobs cross.
+    """
+    rng = random.Random(seed)
+    centers = [
+        [rng.uniform(-5.0, 5.0) for _ in range(dim)] for _ in range(n_blobs)
+    ]
+    velocities = [
+        [rng.uniform(-1.0, 1.0) for _ in range(dim)] for _ in range(n_blobs)
+    ]
+    points = []
+    for i in range(n_points):
+        for center, velocity in zip(centers, velocities):
+            for d in range(dim):
+                center[d] += drift * velocity[d]
+                if abs(center[d]) > 6.0:
+                    velocity[d] = -velocity[d]
+        if rng.random() < noise_fraction:
+            coords = tuple(rng.uniform(-7.0, 7.0) for _ in range(dim))
+        else:
+            center = rng.choice(centers)
+            coords = tuple(c + rng.gauss(0.0, spread) for c in center)
+        points.append(StreamPoint(start_id + i, coords, float(start_id + i)))
+    return points
+
+
+def uniform_noise(
+    n_points: int,
+    *,
+    dim: int = 2,
+    bounds: tuple[float, float] = (0.0, 1.0),
+    seed: int = 0,
+    start_id: int = 0,
+) -> list[StreamPoint]:
+    """Pure uniform noise — the degenerate no-cluster workload."""
+    rng = random.Random(seed)
+    return [
+        StreamPoint(
+            start_id + i,
+            tuple(rng.uniform(*bounds) for _ in range(dim)),
+            float(start_id + i),
+        )
+        for i in range(n_points)
+    ]
+
+
+def two_ring_stream(
+    n_points: int,
+    *,
+    radius_inner: float = 2.0,
+    radius_outer: float = 5.0,
+    jitter: float = 0.15,
+    seed: int = 0,
+    start_id: int = 0,
+) -> list[StreamPoint]:
+    """Two concentric rings — the classic non-spherical-cluster workload.
+
+    K-means-style methods cannot separate these; density-based methods can
+    (the motivation of the paper's introduction).
+    """
+    rng = random.Random(seed)
+    points = []
+    for i in range(n_points):
+        radius = radius_inner if rng.random() < 0.5 else radius_outer
+        angle = rng.uniform(0.0, 2.0 * math.pi)
+        coords = (
+            radius * math.cos(angle) + rng.gauss(0.0, jitter),
+            radius * math.sin(angle) + rng.gauss(0.0, jitter),
+        )
+        points.append(StreamPoint(start_id + i, coords, float(start_id + i)))
+    return points

@@ -1,0 +1,21 @@
+"""Spatial indexes used by the clustering algorithms.
+
+The R-tree (:mod:`repro.index.rtree`) is the index the paper builds DISC on,
+including the epoch-based probing of Section IV-B. The linear-scan index is a
+brute-force oracle with the same interface, used by tests. The grid index
+backs the rho-double-approximate DBSCAN baseline.
+"""
+
+from repro.index.grid import GridIndex
+from repro.index.linear import LinearScanIndex
+from repro.index.rtree import RTree
+from repro.index.stats import IndexStats
+from repro.index.vectorgrid import VectorGridIndex
+
+__all__ = [
+    "GridIndex",
+    "IndexStats",
+    "LinearScanIndex",
+    "RTree",
+    "VectorGridIndex",
+]

@@ -1,0 +1,69 @@
+"""Minimum bounding rectangle (MBR) arithmetic for the R-tree.
+
+Rectangles are represented as a pair of coordinate tuples ``(lows, highs)``.
+All functions are dimension-agnostic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+Coords = tuple[float, ...]
+Rect = tuple[Coords, Coords]
+
+
+def point_rect(point: Sequence[float]) -> Rect:
+    """Degenerate rectangle containing a single point."""
+    coords = tuple(point)
+    return coords, coords
+
+
+def combine(a: Rect, b: Rect) -> Rect:
+    """Smallest rectangle enclosing both ``a`` and ``b``."""
+    lows = tuple(min(la, lb) for la, lb in zip(a[0], b[0]))
+    highs = tuple(max(ha, hb) for ha, hb in zip(a[1], b[1]))
+    return lows, highs
+
+
+def extend(rect: Rect, point: Sequence[float]) -> Rect:
+    """Smallest rectangle enclosing ``rect`` and ``point``."""
+    lows = tuple(min(lo, x) for lo, x in zip(rect[0], point))
+    highs = tuple(max(hi, x) for hi, x in zip(rect[1], point))
+    return lows, highs
+
+
+def area(rect: Rect) -> float:
+    """Hyper-volume of the rectangle."""
+    result = 1.0
+    for lo, hi in zip(rect[0], rect[1]):
+        result *= hi - lo
+    return result
+
+
+def enlargement(rect: Rect, other: Rect) -> float:
+    """Extra area needed for ``rect`` to also cover ``other``."""
+    return area(combine(rect, other)) - area(rect)
+
+
+def mindist_sq(rect: Rect, point: Sequence[float]) -> float:
+    """Squared distance from ``point`` to the nearest face of ``rect``.
+
+    Zero when the point is inside. This is the standard R-tree pruning bound:
+    a ball of radius r around ``point`` intersects ``rect`` iff
+    ``mindist_sq <= r*r``.
+    """
+    total = 0.0
+    for lo, hi, x in zip(rect[0], rect[1], point):
+        if x < lo:
+            diff = lo - x
+        elif x > hi:
+            diff = x - hi
+        else:
+            continue
+        total += diff * diff
+    return total
+
+
+def contains_point(rect: Rect, point: Sequence[float]) -> bool:
+    """True when ``point`` lies inside ``rect`` (boundaries inclusive)."""
+    return all(lo <= x <= hi for lo, hi, x in zip(rect[0], rect[1], point))

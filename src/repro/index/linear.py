@@ -1,0 +1,120 @@
+"""Brute-force spatial index with the same interface as :class:`RTree`.
+
+Used as the test oracle: every R-tree behaviour (plain and epoch-filtered
+searches included) must agree with this index on identical workloads. It is
+also a legitimate fallback for tiny windows where tree overhead dominates.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.common.errors import IndexError_
+from repro.index.stats import IndexStats
+
+Coords = tuple[float, ...]
+
+
+class LinearScanIndex:
+    """Dictionary-backed index scanning every point per search."""
+
+    def __init__(self, stats: IndexStats | None = None) -> None:
+        self._points: dict[int, Coords] = {}
+        self._epochs: dict[int, int] = {}
+        self._tick = 0
+        self.stats = stats if stats is not None else IndexStats()
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __contains__(self, pid: int) -> bool:
+        return pid in self._points
+
+    def coords_of(self, pid: int) -> Coords:
+        return self._points[pid]
+
+    def insert(self, pid: int, coords: Sequence[float]) -> None:
+        if pid in self._points:
+            raise IndexError_(f"point {pid} is already indexed")
+        self.stats.inserts += 1
+        self._points[pid] = tuple(coords)
+        self._epochs[pid] = 0
+
+    def delete(self, pid: int) -> None:
+        if pid not in self._points:
+            raise IndexError_(f"point {pid} is not indexed")
+        self.stats.deletes += 1
+        del self._points[pid]
+        del self._epochs[pid]
+
+    def ball(self, center: Sequence[float], radius: float) -> list[tuple[int, Coords]]:
+        """All points within ``radius`` of ``center`` (inclusive)."""
+        self.stats.range_searches += 1
+        center = tuple(center)
+        results = []
+        dist = math.dist
+        self.stats.entries_scanned += len(self._points)
+        for pid, coords in self._points.items():
+            if dist(coords, center) <= radius:
+                results.append((pid, coords))
+        return results
+
+    def nearest(
+        self, center: Sequence[float], k: int = 1
+    ) -> list[tuple[int, Coords]]:
+        """The k nearest points to ``center``, nearest first."""
+        if k < 1:
+            raise IndexError_(f"k must be >= 1, got {k}")
+        self.stats.range_searches += 1
+        center = tuple(center)
+        dist = math.dist
+        self.stats.entries_scanned += len(self._points)
+        ranked = sorted(
+            self._points.items(), key=lambda item: dist(item[1], center)
+        )
+        return ranked[:k]
+
+    def new_tick(self) -> int:
+        self._tick += 1
+        return self._tick
+
+    def ball_unvisited(
+        self,
+        center: Sequence[float],
+        radius: float,
+        tick: int,
+        should_mark=None,
+    ) -> list[tuple[int, Coords]]:
+        """Points in the ball not yet visited at ``tick``.
+
+        Marking semantics mirror :meth:`repro.index.rtree.RTree.ball_unvisited`:
+        a returned point is marked when ``should_mark`` is ``None`` or approves
+        its pid; unmarked points keep being returned.
+        """
+        self.stats.range_searches += 1
+        center = tuple(center)
+        results = []
+        epochs = self._epochs
+        dist = math.dist
+        self.stats.entries_scanned += len(self._points)
+        for pid, coords in self._points.items():
+            if epochs[pid] < tick and dist(coords, center) <= radius:
+                if should_mark is None or should_mark(pid):
+                    epochs[pid] = tick
+                results.append((pid, coords))
+        return results
+
+    def mark(self, pid: int, tick: int) -> None:
+        """Mark one point visited during epoch ``tick`` (MS-BFS expansion)."""
+        if pid not in self._epochs:
+            raise IndexError_(f"point {pid} is not indexed")
+        self._epochs[pid] = tick
+
+    def items(self) -> list[tuple[int, Coords]]:
+        return list(self._points.items())
+
+    def check_invariants(self) -> None:
+        """Interface parity with :class:`RTree`; nothing can go wrong here."""
+        assert set(self._points) == set(self._epochs)
+

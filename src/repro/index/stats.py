@@ -1,0 +1,49 @@
+"""Counters for index operations.
+
+The paper's Figure 7 reports the *number of range searches* executed by each
+method; every index in this library funnels its searches through an
+:class:`IndexStats` so benches can read the counts without instrumenting the
+algorithms themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class IndexStats:
+    """Mutable operation counters for one spatial index."""
+
+    range_searches: int = 0
+    nodes_accessed: int = 0
+    entries_scanned: int = 0
+    inserts: int = 0
+    deletes: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.range_searches = 0
+        self.nodes_accessed = 0
+        self.entries_scanned = 0
+        self.inserts = 0
+        self.deletes = 0
+
+    def snapshot(self) -> "IndexStats":
+        """Return an independent copy of the current counters."""
+        return IndexStats(
+            range_searches=self.range_searches,
+            nodes_accessed=self.nodes_accessed,
+            entries_scanned=self.entries_scanned,
+            inserts=self.inserts,
+            deletes=self.deletes,
+        )
+
+    def __sub__(self, other: "IndexStats") -> "IndexStats":
+        return IndexStats(
+            range_searches=self.range_searches - other.range_searches,
+            nodes_accessed=self.nodes_accessed - other.nodes_accessed,
+            entries_scanned=self.entries_scanned - other.entries_scanned,
+            inserts=self.inserts - other.inserts,
+            deletes=self.deletes - other.deletes,
+        )

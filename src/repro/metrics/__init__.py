@@ -1,0 +1,15 @@
+"""Clustering quality metrics and exactness comparisons."""
+
+from repro.metrics.ari import adjusted_rand_index
+from repro.metrics.compare import EquivalenceError, assert_equivalent, equivalent
+from repro.metrics.kdist import k_distances, suggest_eps, suggest_tau
+
+__all__ = [
+    "EquivalenceError",
+    "adjusted_rand_index",
+    "assert_equivalent",
+    "equivalent",
+    "k_distances",
+    "suggest_eps",
+    "suggest_tau",
+]

@@ -1,0 +1,57 @@
+"""Adjusted Rand Index (Hubert & Arabie 1985), implemented from scratch.
+
+The paper's Figures 9 and 10 report ARI against ground-truth labels; noise
+points are treated as ordinary singletonish labels exactly as produced by
+the clusterers (label ``-1``), matching how stream-clustering papers
+conventionally score DBSCAN-family output.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+
+
+def _comb2(n: int) -> int:
+    """n choose 2."""
+    return n * (n - 1) // 2
+
+
+def adjusted_rand_index(truth: Sequence[int], predicted: Sequence[int]) -> float:
+    """ARI between two labelings of the same points.
+
+    Args:
+        truth: ground-truth label per point.
+        predicted: predicted label per point (same order, same length).
+
+    Returns:
+        1.0 for identical partitions (up to renaming), ~0.0 for random
+        agreement, negative for worse-than-random. Degenerate inputs where
+        both partitions are single-cluster or all-singletons return 1.0 when
+        they match and 0.0 otherwise, following the usual convention.
+    """
+    if len(truth) != len(predicted):
+        raise ValueError(
+            f"label sequences differ in length: {len(truth)} vs {len(predicted)}"
+        )
+    n = len(truth)
+    if n == 0:
+        return 1.0
+
+    contingency: Counter[tuple[int, int]] = Counter(zip(truth, predicted))
+    row_sums: Counter[int] = Counter(truth)
+    col_sums: Counter[int] = Counter(predicted)
+
+    sum_cells = sum(_comb2(c) for c in contingency.values())
+    sum_rows = sum(_comb2(c) for c in row_sums.values())
+    sum_cols = sum(_comb2(c) for c in col_sums.values())
+    total_pairs = _comb2(n)
+
+    if total_pairs == 0:
+        return 1.0
+    expected = sum_rows * sum_cols / total_pairs
+    max_index = (sum_rows + sum_cols) / 2.0
+    if max_index == expected:
+        # Both partitions are trivial (all one cluster, or all singletons).
+        return 1.0 if sum_rows == sum_cols == sum_cells else 0.0
+    return (sum_cells - expected) / (max_index - expected)

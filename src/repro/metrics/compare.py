@@ -1,0 +1,142 @@
+"""Exactness comparison between clusterings (DESIGN.md §3.4).
+
+DBSCAN's border assignment is order-dependent, so "identical results" is
+checked as the strongest order-independent contract:
+
+1. the two clusterings agree on every point's *category* (core/border/noise);
+2. the partitions of **core** points are identical up to cluster renaming;
+3. every border point is assigned to a cluster that contains at least one
+   core within epsilon of it, in *both* clusterings, and the two assigned
+   clusters correspond whenever the border has cores of only one cluster
+   nearby.
+
+Condition 3's escape hatch only applies to borders sitting within epsilon of
+cores from two different clusters — the one genuinely ambiguous case.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import ClusteringParams
+from repro.common.distance import within_eps
+from repro.common.errors import ReproError
+from repro.common.snapshot import Category, Clustering
+
+Coords = tuple[float, ...]
+
+
+class EquivalenceError(ReproError):
+    """Raised by :func:`assert_equivalent` with a human-readable reason."""
+
+
+def assert_equivalent(
+    a: Clustering,
+    b: Clustering,
+    points: dict[int, Coords],
+    params: ClusteringParams,
+) -> None:
+    """Raise :class:`EquivalenceError` unless ``a`` and ``b`` are equivalent.
+
+    Args:
+        a, b: the clusterings to compare (e.g. DISC vs DBSCAN).
+        points: coordinates of every point in the window, used to validate
+            border assignments.
+        params: the thresholds both clusterings were computed with.
+    """
+    if set(a.categories) != set(b.categories):
+        only_a = set(a.categories) - set(b.categories)
+        only_b = set(b.categories) - set(a.categories)
+        raise EquivalenceError(
+            f"point sets differ: only-in-a={sorted(only_a)[:5]}, "
+            f"only-in-b={sorted(only_b)[:5]}"
+        )
+
+    for pid, cat_a in a.categories.items():
+        cat_b = b.categories[pid]
+        if cat_a is not cat_b:
+            raise EquivalenceError(
+                f"category mismatch for {pid}: {cat_a.value} vs {cat_b.value}"
+            )
+
+    mapping = _match_core_partitions(a, b)
+
+    # Border validity and correspondence.
+    cores_a = a.core_clusters()
+    for pid, cat in a.categories.items():
+        if cat is not Category.BORDER:
+            continue
+        cid_a = a.label_of(pid)
+        cid_b = b.label_of(pid)
+        nearby = _nearby_core_clusters(pid, a, points, params)
+        if cid_a not in nearby:
+            raise EquivalenceError(
+                f"border {pid} assigned by a to cluster {cid_a} with no "
+                f"adjacent core (nearby clusters: {sorted(nearby)})"
+            )
+        if mapping[cid_a] != cid_b and len(nearby) == 1:
+            raise EquivalenceError(
+                f"border {pid} unambiguously belongs to a-cluster {cid_a} "
+                f"(= b-cluster {mapping[cid_a]}) but b assigned {cid_b}"
+            )
+        if mapping[cid_a] != cid_b:
+            # Ambiguous border: b's choice must still be one of the clusters
+            # with an adjacent core.
+            valid_b = {mapping[c] for c in nearby}
+            if cid_b not in valid_b:
+                raise EquivalenceError(
+                    f"border {pid} assigned by b to {cid_b}, not adjacent to "
+                    f"any of its nearby clusters"
+                )
+    _ = cores_a  # partition equality already checked via the mapping
+
+
+def _match_core_partitions(a: Clustering, b: Clustering) -> dict[int, int]:
+    """Build the a-cluster -> b-cluster bijection over core points."""
+    clusters_a = a.core_clusters()
+    clusters_b = b.core_clusters()
+    if len(clusters_a) != len(clusters_b):
+        raise EquivalenceError(
+            f"core cluster counts differ: {len(clusters_a)} vs {len(clusters_b)}"
+        )
+    members_to_b = {members: cid for cid, members in clusters_b.items()}
+    mapping: dict[int, int] = {}
+    for cid_a, members in clusters_a.items():
+        cid_b = members_to_b.get(members)
+        if cid_b is None:
+            sample = sorted(members)[:5]
+            raise EquivalenceError(
+                f"a-cluster {cid_a} (cores {sample}...) has no matching "
+                f"core set in b"
+            )
+        mapping[cid_a] = cid_b
+    return mapping
+
+
+def _nearby_core_clusters(
+    pid: int,
+    clustering: Clustering,
+    points: dict[int, Coords],
+    params: ClusteringParams,
+) -> set[int]:
+    """Clusters (by a-side id) having a core within eps of ``pid``."""
+    coords = points[pid]
+    nearby: set[int] = set()
+    for qid, category in clustering.categories.items():
+        if category is not Category.CORE or qid == pid:
+            continue
+        if within_eps(coords, points[qid], params.eps):
+            nearby.add(clustering.label_of(qid))
+    return nearby
+
+
+def equivalent(
+    a: Clustering,
+    b: Clustering,
+    points: dict[int, Coords],
+    params: ClusteringParams,
+) -> bool:
+    """Boolean form of :func:`assert_equivalent`."""
+    try:
+        assert_equivalent(a, b, points, params)
+    except EquivalenceError:
+        return False
+    return True

@@ -1,0 +1,88 @@
+"""K-distance-graph parameter estimation (Ester et al. 1996, Sec. 4.2).
+
+The paper sets its thresholds "based on a K-distance graph [13], [19]": sort
+every point's distance to its k-th nearest neighbour in descending order and
+look for the valley/knee — points left of the knee are cluster points, right
+of it noise. This module computes the k-distance profile and suggests an eps
+at the knee, plus the paper's DTG rule of thumb (tau = average number of
+points within eps).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.common.points import StreamPoint
+
+
+def k_distances(points: Sequence[StreamPoint], k: int) -> list[float]:
+    """Each point's distance to its k-th nearest neighbour, sorted descending.
+
+    Brute force (O(n^2)); intended for calibration on a window-sized sample,
+    not for the streaming hot path.
+    """
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    if len(points) <= k:
+        raise ConfigurationError(
+            f"need more than k={k} points, got {len(points)}"
+        )
+    coords = [p.coords for p in points]
+    dist = math.dist
+    result = []
+    for i, center in enumerate(coords):
+        distances = sorted(
+            dist(center, other) for j, other in enumerate(coords) if j != i
+        )
+        result.append(distances[k - 1])
+    result.sort(reverse=True)
+    return result
+
+
+def suggest_eps(points: Sequence[StreamPoint], k: int) -> float:
+    """Eps at the knee of the k-distance graph.
+
+    The knee is located as the point of maximum distance to the straight
+    line joining the first and last profile values — the standard discrete
+    "elbow" criterion.
+    """
+    profile = k_distances(points, k)
+    n = len(profile)
+    first, last = profile[0], profile[-1]
+    if first == last:
+        return first
+    # Distance from each profile point to the chord, up to a common factor.
+    best_idx = 0
+    best_score = -1.0
+    dx = n - 1
+    dy = last - first
+    norm = math.hypot(dx, dy)
+    for i, value in enumerate(profile):
+        score = abs(dy * i - dx * (value - first)) / norm
+        if score > best_score:
+            best_score = score
+            best_idx = i
+    return profile[best_idx]
+
+
+def suggest_tau(
+    points: Sequence[StreamPoint], eps: float, sample_every: int = 1
+) -> int:
+    """The paper's DTG rule: tau = average number of points within eps.
+
+    Args:
+        points: a window-sized sample.
+        eps: the distance threshold to calibrate against.
+        sample_every: probe every n-th point to cut the quadratic cost.
+    """
+    if eps <= 0:
+        raise ConfigurationError(f"eps must be positive, got {eps}")
+    coords = [p.coords for p in points]
+    probes = coords[::sample_every] or coords
+    dist = math.dist
+    total = 0
+    for center in probes:
+        total += sum(1 for other in coords if dist(center, other) <= eps)
+    return max(1, round(total / len(probes)))

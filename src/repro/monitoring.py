@@ -1,0 +1,95 @@
+"""Streaming anomaly detection on top of DISC (the intro's third use case).
+
+The paper motivates streaming density clustering with "outlier detection in
+network communication": under DBSCAN semantics an anomaly is a *noise* point
+— an observation with too few similar neighbours in the current window.
+:class:`AnomalyMonitor` wraps any exact stream clusterer and turns its
+per-stride output into debounced anomaly reports:
+
+- a point is *suspicious* as soon as it is noise at the end of a stride;
+- it is *reported* once it has stayed noise for ``confirm_strides``
+  consecutive strides (new points often start as noise simply because their
+  neighbourhood has not arrived yet — debouncing removes that churn);
+- a report is *retracted* automatically if the point later joins a cluster.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.common.points import StreamPoint
+from repro.common.snapshot import Category
+
+
+@dataclass
+class AnomalyReport:
+    """Anomalies confirmed / retracted by one window advance."""
+
+    stride: int
+    confirmed: list[int] = field(default_factory=list)
+    retracted: list[int] = field(default_factory=list)
+
+
+class AnomalyMonitor:
+    """Debounced noise-point reporting over a stream clusterer.
+
+    Args:
+        clusterer: any object with ``advance`` and ``snapshot`` (DISC,
+            IncDBSCAN, ...). The monitor owns driving it.
+        confirm_strides: how many consecutive strides a point must remain
+            noise before it is reported (>= 1).
+    """
+
+    def __init__(self, clusterer, confirm_strides: int = 2) -> None:
+        if confirm_strides < 1:
+            raise ValueError(
+                f"confirm_strides must be >= 1, got {confirm_strides}"
+            )
+        self.clusterer = clusterer
+        self.confirm_strides = confirm_strides
+        self._noise_streak: dict[int, int] = {}
+        self._reported: set[int] = set()
+        self._stride = 0
+
+    def advance(
+        self,
+        delta_in: Sequence[StreamPoint],
+        delta_out: Sequence[StreamPoint] = (),
+    ) -> AnomalyReport:
+        """Advance the underlying clusterer and update anomaly state."""
+        self.clusterer.advance(delta_in, delta_out)
+        snapshot = self.clusterer.snapshot()
+        report = AnomalyReport(stride=self._stride)
+
+        gone = {sp.pid for sp in delta_out}
+        for pid in gone:
+            self._noise_streak.pop(pid, None)
+            self._reported.discard(pid)
+
+        still_noise: dict[int, int] = {}
+        for pid, category in snapshot.categories.items():
+            if category is Category.NOISE:
+                streak = self._noise_streak.get(pid, 0) + 1
+                still_noise[pid] = streak
+                if streak == self.confirm_strides and pid not in self._reported:
+                    self._reported.add(pid)
+                    report.confirmed.append(pid)
+            elif pid in self._reported:
+                # A previously reported anomaly joined a cluster after all.
+                self._reported.discard(pid)
+                report.retracted.append(pid)
+        self._noise_streak = still_noise
+        self._stride += 1
+        report.confirmed.sort()
+        report.retracted.sort()
+        return report
+
+    @property
+    def active_anomalies(self) -> frozenset[int]:
+        """Points currently standing as confirmed anomalies."""
+        return frozenset(self._reported)
+
+    def suspicion_of(self, pid: int) -> int:
+        """How many consecutive strides ``pid`` has been noise (0 if none)."""
+        return self._noise_streak.get(pid, 0)

@@ -1,0 +1,130 @@
+"""Terminal visualization of clusterings (2D projections).
+
+A dependency-free stand-in for the paper's Figure 12 scatter plots: clusters
+are rendered into a character grid, each cluster with its own glyph, noise as
+dots. Higher-dimensional data is projected onto two chosen axes.
+
+Example:
+    >>> from repro.viz import render_clustering
+    >>> print(render_clustering(snapshot, coords, width=60))   # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.common.snapshot import Category, Clustering
+
+Coords = tuple[float, ...]
+
+# Glyph palette: distinct, terminal-safe; reused cyclically for many clusters.
+GLYPHS = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+NOISE_GLYPH = "."
+EMPTY_GLYPH = " "
+
+
+def render_clustering(
+    clustering: Clustering,
+    coords: Mapping[int, Coords],
+    *,
+    width: int = 72,
+    height: int = 24,
+    axes: tuple[int, int] = (0, 1),
+    legend: bool = True,
+) -> str:
+    """Render a clustering as an ASCII scatter plot.
+
+    Args:
+        clustering: the snapshot to draw.
+        coords: pid -> coordinates for every point in the snapshot.
+        width, height: character-grid size.
+        axes: which two coordinate dimensions to project onto (x, y).
+        legend: append a cluster-size legend below the plot.
+
+    Returns:
+        A multi-line string. Cells holding points of several clusters show
+        the glyph of the most frequent one; any noise sharing a cell with
+        cluster points is hidden beneath them.
+    """
+    pids = [pid for pid in clustering.categories if pid in coords]
+    if not pids:
+        return "(empty window)"
+    ax, ay = axes
+    xs = [coords[pid][ax] for pid in pids]
+    ys = [coords[pid][ay] for pid in pids]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    # Stable glyph assignment: biggest clusters get the earliest glyphs.
+    sizes = sorted(
+        clustering.clusters().items(), key=lambda kv: (-len(kv[1]), kv[0])
+    )
+    glyph_of = {
+        cid: GLYPHS[i % len(GLYPHS)] for i, (cid, _) in enumerate(sizes)
+    }
+
+    # cell -> {glyph: count}
+    from collections import Counter, defaultdict
+
+    cells: dict[tuple[int, int], Counter] = defaultdict(Counter)
+    for pid in pids:
+        col = int((coords[pid][ax] - x_lo) / x_span * (width - 1))
+        row = int((coords[pid][ay] - y_lo) / y_span * (height - 1))
+        category = clustering.category_of(pid)
+        if category is Category.NOISE:
+            glyph = NOISE_GLYPH
+        else:
+            glyph = glyph_of.get(clustering.label_of(pid), "?")
+        cells[(row, col)][glyph] += 1
+
+    lines = []
+    for row in range(height - 1, -1, -1):
+        chars = []
+        for col in range(width):
+            counter = cells.get((row, col))
+            if not counter:
+                chars.append(EMPTY_GLYPH)
+                continue
+            # Cluster glyphs win over noise dots in shared cells.
+            best = max(
+                counter.items(),
+                key=lambda kv: (kv[0] != NOISE_GLYPH, kv[1]),
+            )[0]
+            chars.append(best)
+        lines.append("".join(chars))
+
+    if legend:
+        lines.append("")
+        noise = clustering.count(Category.NOISE)
+        parts = [
+            f"{glyph_of[cid]}={len(members)}"
+            for cid, members in sizes[: len(GLYPHS)]
+        ]
+        lines.append(
+            f"clusters: {', '.join(parts) if parts else 'none'}"
+            + (f"   noise(.)={noise}" if noise else "")
+        )
+    return "\n".join(lines)
+
+
+def render_comparison(
+    snapshots: Mapping[str, Clustering],
+    coords: Mapping[int, Coords],
+    *,
+    width: int = 60,
+    height: int = 18,
+    axes: tuple[int, int] = (0, 1),
+) -> str:
+    """Render several methods' clusterings of the same window, stacked."""
+    blocks = []
+    for name, clustering in snapshots.items():
+        blocks.append(f"--- {name} ({clustering.num_clusters} clusters) ---")
+        blocks.append(
+            render_clustering(
+                clustering, coords, width=width, height=height, axes=axes,
+                legend=False,
+            )
+        )
+    return "\n".join(blocks)

@@ -1,0 +1,18 @@
+"""Sliding-window machinery (paper Section II-B).
+
+:class:`~repro.window.sliding.SlidingWindow` turns a point stream into
+per-stride deltas under either the count-based or the time-based model;
+:mod:`repro.window.driver` replays those deltas into any stream clusterer
+while measuring per-stride latency.
+"""
+
+from repro.window.driver import DriveResult, StrideMeasurement, drive, replay
+from repro.window.sliding import SlidingWindow
+
+__all__ = [
+    "DriveResult",
+    "SlidingWindow",
+    "StrideMeasurement",
+    "drive",
+    "replay",
+]

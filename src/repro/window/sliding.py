@@ -1,0 +1,112 @@
+"""Turning a stream into per-stride window deltas.
+
+Both window models of the paper are supported:
+
+- **count-based**: ``window`` and ``stride`` are numbers of points. Every
+  stride emits the next ``stride`` arrivals and expires the oldest points so
+  the window never exceeds ``window`` points.
+- **time-based**: ``window`` and ``stride`` are durations in the stream's
+  timestamp unit. Every stride covers one ``stride``-long interval and
+  expires points older than ``now - window``.
+
+The clustering algorithms never see which model produced a delta — they just
+receive ``(delta_in, delta_out)`` pairs (Section II-B: "the clustering
+algorithm ... is not subject to how those parameters are measured").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Iterator
+
+from repro.common.config import WindowSpec
+from repro.common.errors import StreamOrderError
+from repro.common.points import StreamPoint
+
+Slide = tuple[list[StreamPoint], list[StreamPoint]]
+
+
+class SlidingWindow:
+    """Stateless factory of per-stride deltas for one window specification."""
+
+    def __init__(self, spec: WindowSpec, time_based: bool = False) -> None:
+        self.spec = spec
+        self.time_based = time_based
+
+    def slides(self, stream: Iterable[StreamPoint]) -> Iterator[Slide]:
+        """Yield ``(delta_in, delta_out)`` per window advance.
+
+        The first few slides have empty ``delta_out`` while the window fills.
+        """
+        if self.time_based:
+            yield from self._time_slides(stream)
+        else:
+            yield from self._count_slides(stream)
+
+    def _count_slides(self, stream: Iterable[StreamPoint]) -> Iterator[Slide]:
+        window: deque[StreamPoint] = deque()
+        batch: list[StreamPoint] = []
+        stride = self.spec.stride
+        capacity = self.spec.window
+        for point in stream:
+            batch.append(point)
+            if len(batch) < stride:
+                continue
+            window.extend(batch)
+            delta_out = []
+            while len(window) > capacity:
+                delta_out.append(window.popleft())
+            yield batch, delta_out
+            batch = []
+        if batch:
+            window.extend(batch)
+            delta_out = []
+            while len(window) > capacity:
+                delta_out.append(window.popleft())
+            yield batch, delta_out
+
+    def _time_slides(self, stream: Iterable[StreamPoint]) -> Iterator[Slide]:
+        window: deque[StreamPoint] = deque()
+        stride = float(self.spec.stride)
+        span = float(self.spec.window)
+        batch: list[StreamPoint] = []
+        boundary: float | None = None
+        last_time: float | None = None
+
+        def expire(now: float) -> list[StreamPoint]:
+            cutoff = now - span
+            expired = []
+            while window and window[0].time <= cutoff:
+                expired.append(window.popleft())
+            return expired
+
+        for point in stream:
+            if last_time is not None and point.time < last_time:
+                raise StreamOrderError(
+                    f"timestamps out of order: {point.time} after {last_time}"
+                )
+            last_time = point.time
+            if boundary is None:
+                boundary = point.time + stride
+            while point.time >= boundary:
+                window.extend(batch)
+                yield batch, expire(boundary)
+                batch = []
+                boundary += stride
+            batch.append(point)
+        if batch and boundary is not None:
+            window.extend(batch)
+            yield batch, expire(boundary)
+
+
+def materialize_slides(
+    points: Iterable[StreamPoint],
+    spec: WindowSpec,
+    time_based: bool = False,
+) -> list[Slide]:
+    """Precompute every slide of a finite stream.
+
+    Benchmarks use this so all methods replay the *identical* sequence of
+    deltas, and slide computation stays out of the measured path.
+    """
+    return list(SlidingWindow(spec, time_based).slides(points))

@@ -1,0 +1,81 @@
+"""Tests for the high-level convenience API (including its doctests)."""
+
+import doctest
+
+import repro.api
+from repro.api import cluster_static, cluster_stream
+from repro.common.config import WindowSpec
+from repro.core.disc import DISC
+from repro.datasets.synthetic import blob_stream
+from tests.conftest import clustered_stream
+
+
+def test_doctests_pass():
+    results = doctest.testmod(repro.api)
+    assert results.failed == 0
+    assert results.attempted >= 2
+
+
+class TestClusterStream:
+    def test_yields_per_stride(self):
+        stream = clustered_stream(1, 200)
+        results = list(
+            cluster_stream(stream, WindowSpec(100, 50), eps=0.7, tau=4)
+        )
+        assert len(results) == 4
+        snapshot, summary = results[-1]
+        assert snapshot.num_points == 100
+        assert summary.num_inserted == 50
+
+    def test_custom_clusterer(self):
+        from repro.baselines.dbscan import SlidingDBSCAN
+
+        stream = clustered_stream(2, 120)
+        results = list(
+            cluster_stream(
+                stream,
+                WindowSpec(60, 30),
+                eps=0.0,  # ignored
+                tau=0,  # ignored
+                clusterer=SlidingDBSCAN(0.7, 4),
+            )
+        )
+        assert len(results) == 4
+
+    def test_matches_manual_loop(self):
+        stream = clustered_stream(3, 200)
+        spec = WindowSpec(80, 40)
+        auto = list(cluster_stream(stream, spec, eps=0.7, tau=4))
+        manual = DISC(0.7, 4)
+        from repro.window.sliding import materialize_slides
+
+        for delta_in, delta_out in materialize_slides(stream, spec):
+            manual.advance(delta_in, delta_out)
+        assert auto[-1][0].labels == manual.snapshot().labels
+
+    def test_time_based(self):
+        from repro.common.points import StreamPoint
+
+        points = [
+            StreamPoint(i, (0.1 * i, 0.0), float(i) * 2.0) for i in range(30)
+        ]
+        results = list(
+            cluster_stream(
+                points, WindowSpec(20, 10), eps=0.5, tau=3, time_based=True
+            )
+        )
+        assert results  # durations, several strides emitted
+
+
+class TestClusterStatic:
+    def test_two_blobs(self):
+        snap = cluster_static(
+            blob_stream(200, [(0.0, 0.0), (6.0, 6.0)], seed=3), 0.8, 4
+        )
+        assert snap.num_clusters == 2
+
+    def test_accepts_generator(self):
+        snap = cluster_static(
+            iter(blob_stream(100, [(0.0, 0.0)], seed=4)), 0.8, 4
+        )
+        assert snap.num_clusters == 1

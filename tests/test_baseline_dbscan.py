@@ -1,0 +1,103 @@
+"""Unit tests for static DBSCAN and its sliding wrapper."""
+
+import pytest
+
+from repro.baselines.dbscan import SlidingDBSCAN, dbscan_labels
+from repro.common.config import ClusteringParams
+from repro.common.errors import StreamOrderError
+from repro.common.points import StreamPoint
+from repro.common.snapshot import Category
+from repro.index.linear import LinearScanIndex
+
+
+def build_index(points):
+    index = LinearScanIndex()
+    for pid, coords in points.items():
+        index.insert(pid, coords)
+    return index
+
+
+class TestDbscanLabels:
+    def test_single_chain_cluster(self):
+        points = {i: (0.4 * i, 0.0) for i in range(6)}
+        labels, categories = dbscan_labels(
+            build_index(points), points, ClusteringParams(0.5, 3)
+        )
+        assert len(set(labels.values())) == 1
+        assert categories[2] is Category.CORE
+        assert categories[0] is Category.BORDER  # endpoint: 2 neighbours < 3
+
+    def test_noise_far_away(self):
+        points = {0: (0.0, 0.0), 1: (100.0, 100.0)}
+        labels, categories = dbscan_labels(
+            build_index(points), points, ClusteringParams(1.0, 2)
+        )
+        assert labels == {}
+        assert categories[0] is Category.NOISE
+        assert categories[1] is Category.NOISE
+
+    def test_two_clusters(self):
+        points = {i: (0.4 * i, 0.0) for i in range(5)}
+        points.update({10 + i: (50.0 + 0.4 * i, 0.0) for i in range(5)})
+        labels, _ = dbscan_labels(
+            build_index(points), points, ClusteringParams(0.5, 3)
+        )
+        assert len(set(labels.values())) == 2
+        assert labels[0] != labels[12]
+
+    def test_noise_reclaimed_as_border(self):
+        # Point 0 is scanned first, looks like noise, then a later cluster
+        # reaches it: it must end up a border, not noise.
+        points = {0: (0.0, 0.0), 1: (0.4, 0.0), 2: (0.8, 0.0), 3: (1.2, 0.0)}
+        labels, categories = dbscan_labels(
+            build_index(points), points, ClusteringParams(0.5, 3)
+        )
+        assert categories[0] is Category.BORDER
+        assert labels[0] == labels[1]
+
+    def test_one_search_per_point(self):
+        points = {i: (0.4 * i, 0.0) for i in range(10)}
+        index = build_index(points)
+        index.stats.reset()
+        dbscan_labels(index, points, ClusteringParams(0.5, 3))
+        assert index.stats.range_searches == len(points)
+
+    def test_counts_include_self(self):
+        # Exactly tau points all within eps: everyone is core.
+        points = {0: (0.0, 0.0), 1: (0.1, 0.0), 2: (0.2, 0.0)}
+        _, categories = dbscan_labels(
+            build_index(points), points, ClusteringParams(0.5, 3)
+        )
+        assert all(c is Category.CORE for c in categories.values())
+
+
+class TestSlidingWrapper:
+    def test_advance_and_snapshot(self):
+        method = SlidingDBSCAN(0.5, 3)
+        pts = [StreamPoint(i, (0.4 * i, 0.0), float(i)) for i in range(6)]
+        method.advance(pts, ())
+        assert method.snapshot().num_clusters == 1
+        assert len(method) == 6
+
+    def test_delete_then_recluster(self):
+        method = SlidingDBSCAN(0.5, 3)
+        pts = [StreamPoint(i, (0.4 * i, 0.0), float(i)) for i in range(6)]
+        method.advance(pts, ())
+        method.advance((), pts[2:4])  # cut the chain in the middle
+        assert method.snapshot().num_clusters == 0  # 2+2 points < tau each
+
+    def test_bad_deltas_rejected(self):
+        method = SlidingDBSCAN(0.5, 3)
+        with pytest.raises(StreamOrderError):
+            method.advance((), [StreamPoint(1, (0.0, 0.0), 0.0)])
+        method.advance([StreamPoint(1, (0.0, 0.0), 0.0)], ())
+        with pytest.raises(StreamOrderError):
+            method.advance([StreamPoint(1, (0.0, 0.0), 0.0)], ())
+
+    def test_labels_copy(self):
+        method = SlidingDBSCAN(0.5, 3)
+        pts = [StreamPoint(i, (0.4 * i, 0.0), float(i)) for i in range(6)]
+        method.advance(pts, ())
+        labels = method.labels()
+        labels[999] = 0  # mutating the copy must not touch the method
+        assert 999 not in method.labels()

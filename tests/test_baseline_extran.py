@@ -1,0 +1,120 @@
+"""Unit tests for EXTRA-N's predicted-view machinery."""
+
+import pytest
+
+from repro.baselines.dbscan import SlidingDBSCAN
+from repro.baselines.extran import ExtraN
+from repro.common.config import WindowSpec
+from repro.common.errors import ConfigurationError, StreamOrderError
+from repro.common.points import StreamPoint
+from repro.metrics.compare import assert_equivalent
+from repro.window.sliding import materialize_slides
+from tests.conftest import clustered_stream
+
+
+def sp(pid, x, y=0.0):
+    return StreamPoint(pid, (float(x), float(y)), float(pid))
+
+
+class TestConstruction:
+    def test_stride_must_divide_window(self):
+        with pytest.raises(ConfigurationError):
+            ExtraN(0.5, 3, WindowSpec(window=100, stride=30))
+
+    def test_valid_spec(self):
+        method = ExtraN(0.5, 3, WindowSpec(window=100, stride=25))
+        assert method.params.tau == 3
+
+
+class TestNoDeletionSearches:
+    def test_expiry_is_search_free(self):
+        spec = WindowSpec(window=40, stride=10)
+        method = ExtraN(0.7, 3, spec)
+        points = clustered_stream(1, 80)
+        slides = materialize_slides(points, spec)
+        for delta_in, delta_out in slides[:4]:
+            method.advance(delta_in, delta_out)
+        searches_before = method.stats.range_searches
+        delta_in, delta_out = slides[4]
+        method.advance(delta_in, delta_out)
+        # Exactly one range search per *arriving* point, none for expiry.
+        assert (
+            method.stats.range_searches - searches_before == len(delta_in)
+        )
+
+    def test_early_expiry_stays_correct(self):
+        # Points may leave before their predicted slide (e.g. a trailing
+        # partial stride); counts follow the actual departures.
+        spec = WindowSpec(window=40, stride=10)
+        method = ExtraN(0.7, 3, spec)
+        reference = SlidingDBSCAN(0.7, 3)
+        points = clustered_stream(2, 40)
+        method.advance(points[:10], ())
+        reference.advance(points[:10], ())
+        method.advance(points[10:20], points[:10])
+        reference.advance(points[10:20], points[:10])
+        coords = {p.pid: p.coords for p in points[10:20]}
+        assert_equivalent(
+            method.snapshot(), reference.snapshot(), coords, method.params
+        )
+
+    def test_unknown_delete_rejected(self):
+        spec = WindowSpec(window=40, stride=10)
+        method = ExtraN(0.7, 3, spec)
+        with pytest.raises(StreamOrderError):
+            method.advance((), [sp(7, 0.0)])
+
+
+class TestBookkeeping:
+    def test_memory_cells_grow_with_density(self):
+        spec = WindowSpec(window=40, stride=10)
+        sparse = ExtraN(0.7, 3, spec)
+        dense = ExtraN(0.7, 3, spec)
+        sparse.advance([sp(i, 10.0 * i) for i in range(10)], ())
+        dense.advance([sp(i, 0.1 * i) for i in range(10)], ())
+        assert dense.memory_cells() > sparse.memory_cells()
+
+    def test_neighbour_counts_match_reality(self):
+        spec = WindowSpec(window=30, stride=10)
+        method = ExtraN(0.7, 3, spec)
+        points = clustered_stream(3, 60)
+        reference = SlidingDBSCAN(0.7, 3)
+        window = []
+        for delta_in, delta_out in materialize_slides(points, spec):
+            method.advance(delta_in, delta_out)
+            reference.advance(delta_in, delta_out)
+            out_ids = {p.pid for p in delta_out}
+            window = [p for p in window if p.pid not in out_ids] + list(delta_in)
+            coords = {p.pid: p.coords for p in window}
+            assert_equivalent(
+                method.snapshot(), reference.snapshot(), coords, method.params
+            )
+
+    def test_len_tracks_window(self):
+        spec = WindowSpec(window=20, stride=10)
+        method = ExtraN(0.7, 3, spec)
+        points = clustered_stream(4, 40)
+        for delta_in, delta_out in materialize_slides(points, spec):
+            method.advance(delta_in, delta_out)
+        assert len(method) == 20
+
+    def test_prefill_matches_slide_by_slide(self):
+        spec = WindowSpec(window=40, stride=10)
+        points = clustered_stream(5, 60)
+        stepped = ExtraN(0.7, 3, spec)
+        for delta_in, delta_out in materialize_slides(points[:40], spec):
+            stepped.advance(delta_in, delta_out)
+        filled = ExtraN(0.7, 3, spec)
+        filled.prefill([points[i : i + 10] for i in range(0, 40, 10)])
+        coords = {p.pid: p.coords for p in points[:40]}
+        assert_equivalent(
+            filled.snapshot(), stepped.snapshot(), coords, filled.params
+        )
+        # And both continue identically afterwards.
+        delta_in, delta_out = points[40:50], points[:10]
+        stepped.advance(delta_in, delta_out)
+        filled.advance(delta_in, delta_out)
+        coords = {p.pid: p.coords for p in points[10:50]}
+        assert_equivalent(
+            filled.snapshot(), stepped.snapshot(), coords, filled.params
+        )

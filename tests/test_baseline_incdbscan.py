@@ -1,0 +1,135 @@
+"""Unit tests for IncDBSCAN's per-point update semantics."""
+
+import pytest
+
+from repro.baselines.dbscan import SlidingDBSCAN
+from repro.baselines.incdbscan import IncrementalDBSCAN
+from repro.common.errors import StreamOrderError
+from repro.common.points import StreamPoint
+from repro.core.disc import DISC
+from repro.core.events import EvolutionKind
+from repro.metrics.compare import assert_equivalent
+
+
+def sp(pid, x, y=0.0):
+    return StreamPoint(pid, (float(x), float(y)), float(pid))
+
+
+def chain(start_id, x0, n, gap=0.4):
+    return [sp(start_id + i, x0 + i * gap) for i in range(n)]
+
+
+class TestCaseAnalysis:
+    """Ester et al.'s insertion/deletion cases, one point at a time."""
+
+    def test_noise_insertion(self):
+        inc = IncrementalDBSCAN(0.5, 3)
+        summary = inc.advance([sp(0, 0.0)], ())
+        assert summary.events == []
+        assert inc.snapshot().num_clusters == 0
+
+    def test_creation_case(self):
+        inc = IncrementalDBSCAN(0.5, 3)
+        inc.advance([sp(0, 0.0), sp(1, 0.4)], ())
+        assert inc.snapshot().num_clusters == 0
+        summary = inc.advance([sp(2, 0.2)], ())  # third point makes cores
+        assert summary.count(EvolutionKind.EMERGE) == 1
+        assert inc.snapshot().num_clusters == 1
+
+    def test_absorption_case(self):
+        inc = IncrementalDBSCAN(0.5, 3)
+        inc.advance(chain(0, 0.0, 5), ())
+        summary = inc.advance([sp(100, 2.0)], ())
+        assert summary.count(EvolutionKind.EXPAND) >= 1
+        assert inc.snapshot().num_clusters == 1
+
+    def test_merge_case(self):
+        inc = IncrementalDBSCAN(0.5, 2)
+        inc.advance(chain(0, 0.0, 3) + chain(100, 1.7, 3), ())
+        assert inc.snapshot().num_clusters == 2
+        summary = inc.advance([sp(200, 1.25)], ())
+        assert summary.count(EvolutionKind.MERGE) == 1
+        assert inc.snapshot().num_clusters == 1
+
+    def test_deletion_split_case(self):
+        inc = IncrementalDBSCAN(0.5, 2)
+        window = chain(0, 0.0, 7)
+        inc.advance(window, ())
+        assert inc.snapshot().num_clusters == 1
+        summary = inc.advance((), [window[3]])
+        assert summary.count(EvolutionKind.SPLIT) == 1
+        assert inc.snapshot().num_clusters == 2
+
+    def test_deletion_to_dissipation(self):
+        inc = IncrementalDBSCAN(0.5, 3)
+        pts = chain(0, 0.0, 4)
+        inc.advance(pts, ())
+        inc.advance((), pts[:2])
+        assert inc.snapshot().num_clusters == 0
+
+
+class TestBatchDecomposition:
+    def test_stride_equals_sequential_points(self):
+        points = chain(0, 0.0, 6) + chain(100, 5.0, 6)
+        batch = IncrementalDBSCAN(0.5, 3)
+        batch.advance(points, ())
+        sequential = IncrementalDBSCAN(0.5, 3)
+        for p in points:
+            sequential.advance([p], ())
+        coords = {p.pid: p.coords for p in points}
+        assert_equivalent(
+            batch.snapshot(), sequential.snapshot(), coords, batch.params
+        )
+
+    def test_summary_aggregates_per_point_events(self):
+        inc = IncrementalDBSCAN(0.5, 3)
+        summary = inc.advance(chain(0, 0.0, 6) + chain(100, 50.0, 6), ())
+        assert summary.num_inserted == 12
+        assert summary.count(EvolutionKind.EMERGE) == 2
+
+    def test_matches_dbscan_after_mixed_stride(self):
+        inc = IncrementalDBSCAN(0.5, 3)
+        reference = SlidingDBSCAN(0.5, 3)
+        first = chain(0, 0.0, 8)
+        inc.advance(first, ())
+        reference.advance(first, ())
+        second_in = chain(100, 1.0, 4, gap=0.3)
+        second_out = first[:3]
+        inc.advance(second_in, second_out)
+        reference.advance(second_in, second_out)
+        window = first[3:] + second_in
+        coords = {p.pid: p.coords for p in window}
+        assert_equivalent(
+            inc.snapshot(), reference.snapshot(), coords, inc.params
+        )
+
+    def test_does_more_searches_than_disc(self):
+        # The whole point of DISC: per-point processing repeats work that
+        # per-stride consolidation does once.
+        points = chain(0, 0.0, 30, gap=0.35)
+        inc = IncrementalDBSCAN(0.5, 3)
+        disc = DISC(0.5, 3)
+        inc.advance(points, ())
+        disc.advance(points, ())
+        # Delete a contiguous run: each IncDBSCAN deletion re-checks
+        # reachability; DISC consolidates them into one retro class.
+        victims = points[10:20]
+        inc_before = inc.stats.range_searches
+        disc_before = disc.stats.range_searches
+        inc.advance((), victims)
+        disc.advance((), victims)
+        assert (
+            disc.stats.range_searches - disc_before
+            <= inc.stats.range_searches - inc_before
+        )
+
+    def test_errors_propagate(self):
+        inc = IncrementalDBSCAN(0.5, 3)
+        with pytest.raises(StreamOrderError):
+            inc.advance((), [sp(1, 0.0)])
+
+    def test_len_and_labels(self):
+        inc = IncrementalDBSCAN(0.5, 3)
+        inc.advance(chain(0, 0.0, 5), ())
+        assert len(inc) == 5
+        assert set(inc.labels()) <= {0, 1, 2, 3, 4}

@@ -1,0 +1,122 @@
+"""Unit tests for dynamic rho-approximate DBSCAN.
+
+The rho-approximation contract: pairs within eps must connect; pairs beyond
+(1+rho)*eps must not; in between either answer is legal. With blob layouts
+that avoid the grey zone entirely, rho2's output must match DBSCAN exactly.
+"""
+
+import pytest
+
+from repro.baselines.dbscan import SlidingDBSCAN
+from repro.baselines.rho2dbscan import RhoDoubleApproxDBSCAN
+from repro.common.config import WindowSpec
+from repro.common.errors import StreamOrderError
+from repro.common.points import StreamPoint
+from repro.metrics.ari import adjusted_rand_index
+from repro.window.sliding import materialize_slides
+from tests.conftest import clustered_stream
+
+
+def sp(pid, x, y=0.0):
+    return StreamPoint(pid, (float(x), float(y)), float(pid))
+
+
+def compare_to_dbscan(points, eps, tau, rho):
+    rho2 = RhoDoubleApproxDBSCAN(eps, tau, dim=2, rho=rho)
+    dbscan = SlidingDBSCAN(eps, tau)
+    rho2.advance(points, ())
+    dbscan.advance(points, ())
+    pids = [p.pid for p in points]
+    return adjusted_rand_index(
+        dbscan.snapshot().label_array(pids), rho2.snapshot().label_array(pids)
+    )
+
+
+class TestApproximationContract:
+    def test_bad_rho_rejected(self):
+        with pytest.raises(ValueError):
+            RhoDoubleApproxDBSCAN(1.0, 3, dim=2, rho=0.0)
+
+    def test_exact_on_separated_blobs(self):
+        points = clustered_stream(1, 200, noise_fraction=0.1)
+        assert compare_to_dbscan(points, 0.7, 4, rho=0.001) == 1.0
+
+    def test_chain_connects_within_eps(self):
+        points = [sp(i, 0.45 * i) for i in range(8)]
+        rho2 = RhoDoubleApproxDBSCAN(0.5, 2, dim=2, rho=0.01)
+        rho2.advance(points, ())
+        assert rho2.snapshot().num_clusters == 1
+
+    def test_never_connects_beyond_tolerance(self):
+        # Two tight pairs separated by 2.0 > (1+rho)*eps = 1.01.
+        points = [sp(0, 0.0), sp(1, 0.2), sp(10, 2.2), sp(11, 2.4)]
+        rho2 = RhoDoubleApproxDBSCAN(1.0, 2, dim=2, rho=0.01)
+        rho2.advance(points, ())
+        labels = rho2.labels()
+        assert labels[0] != labels[10]
+
+    def test_grey_zone_may_connect(self):
+        # Distance 1.05 with eps=1, rho=0.1: legal either way, but the
+        # result must still be a valid clustering (both points core).
+        points = [sp(0, 0.0), sp(1, 0.3), sp(10, 1.35), sp(11, 1.65)]
+        rho2 = RhoDoubleApproxDBSCAN(1.0, 2, dim=2, rho=0.1)
+        rho2.advance(points, ())
+        assert rho2.snapshot().num_clusters in (1, 2)
+
+
+class TestDynamicMaintenance:
+    def test_incremental_matches_rebuild(self):
+        spec = WindowSpec(window=100, stride=20)
+        points = clustered_stream(5, 300)
+        rho2 = RhoDoubleApproxDBSCAN(0.7, 4, dim=2, rho=0.05)
+        for delta_in, delta_out in materialize_slides(points, spec):
+            rho2.advance(delta_in, delta_out)
+            incremental = rho2.snapshot()
+            rho2._rebuild_components()
+            reference = rho2.snapshot()
+            pids = sorted(incremental.categories)
+            assert (
+                adjusted_rand_index(
+                    incremental.label_array(pids), reference.label_array(pids)
+                )
+                == 1.0
+            )
+
+    def test_sliding_equivalence_to_dbscan(self):
+        spec = WindowSpec(window=100, stride=25)
+        points = clustered_stream(8, 300)
+        rho2 = RhoDoubleApproxDBSCAN(0.7, 4, dim=2, rho=0.001)
+        dbscan = SlidingDBSCAN(0.7, 4)
+        window = []
+        for delta_in, delta_out in materialize_slides(points, spec):
+            rho2.advance(delta_in, delta_out)
+            dbscan.advance(delta_in, delta_out)
+            out_ids = {p.pid for p in delta_out}
+            window = [p for p in window if p.pid not in out_ids] + list(delta_in)
+            pids = [p.pid for p in window]
+            ari = adjusted_rand_index(
+                dbscan.snapshot().label_array(pids),
+                rho2.snapshot().label_array(pids),
+            )
+            assert ari > 0.99
+
+    def test_deletion_splits_cluster(self):
+        chain = [sp(i, 0.45 * i) for i in range(9)]
+        rho2 = RhoDoubleApproxDBSCAN(0.5, 2, dim=2, rho=0.01)
+        rho2.advance(chain, ())
+        assert rho2.snapshot().num_clusters == 1
+        rho2.advance((), [chain[4]])
+        assert rho2.snapshot().num_clusters == 2
+
+    def test_stream_order_errors(self):
+        rho2 = RhoDoubleApproxDBSCAN(1.0, 2, dim=2, rho=0.1)
+        with pytest.raises(StreamOrderError):
+            rho2.advance((), [sp(1, 0.0)])
+        rho2.advance([sp(1, 0.0)], ())
+        with pytest.raises(StreamOrderError):
+            rho2.advance([sp(1, 0.0)], ())
+
+    def test_len(self):
+        rho2 = RhoDoubleApproxDBSCAN(1.0, 2, dim=2, rho=0.1)
+        rho2.advance([sp(1, 0.0), sp(2, 5.0)], ())
+        assert len(rho2) == 2

@@ -1,0 +1,121 @@
+"""Behavioural tests for the summarisation baselines (DBSTREAM, EDMStream).
+
+These methods are approximate, so tests pin behaviour, not exact labels:
+well-separated blobs must come out as separate clusters, decay must forget
+stale regions, and insertion must stay cheap.
+"""
+
+from repro.baselines.dbstream import DBStream
+from repro.baselines.edmstream import EDMStream
+from repro.common.points import StreamPoint
+from repro.metrics.ari import adjusted_rand_index
+from tests.conftest import clustered_stream
+
+
+def blob_points(centers, per_blob, spread=0.15, start_id=0, seed=0):
+    import random
+
+    rng = random.Random(seed)
+    points = []
+    pid = start_id
+    truth = {}
+    for label, (cx, cy) in enumerate(centers):
+        for _ in range(per_blob):
+            coords = (cx + rng.gauss(0, spread), cy + rng.gauss(0, spread))
+            points.append(StreamPoint(pid, coords, float(pid)))
+            truth[pid] = label
+            pid += 1
+    rng.shuffle(points)
+    return points, truth
+
+
+class TestDBStream:
+    def test_separates_far_blobs(self):
+        points, truth = blob_points([(0, 0), (10, 10), (20, 0)], 80)
+        method = DBStream(radius=1.0, dim=2, fade=0.0005)
+        method.advance(points, ())
+        snapshot = method.snapshot()
+        pids = [p.pid for p in points]
+        ari = adjusted_rand_index(
+            [truth[p] for p in pids], snapshot.label_array(pids)
+        )
+        assert ari > 0.9
+
+    def test_micro_clusters_bounded(self):
+        points, _ = blob_points([(0, 0)], 300)
+        method = DBStream(radius=1.0, dim=2)
+        method.advance(points, ())
+        # One tight blob must be summarised by a handful of micro-clusters.
+        assert method.num_micro_clusters() < 30
+
+    def test_cleanup_forgets_stale_regions(self):
+        early, _ = blob_points([(0, 0)], 150, seed=1)
+        late, _ = blob_points([(50, 50)], 3000, start_id=1000, seed=2)
+        method = DBStream(radius=1.0, dim=2, fade=0.01, gap=200)
+        method.advance(early, ())
+        count_after_early = method.num_micro_clusters()
+        method.advance(late, ())
+        centers = [mc.center for mc in method._mcs.values()]
+        stale = [c for c in centers if c[0] < 25.0]
+        assert len(stale) < count_after_early
+
+    def test_departures_only_affect_labelling_window(self):
+        points, _ = blob_points([(0, 0)], 50)
+        method = DBStream(radius=1.0, dim=2)
+        method.advance(points, ())
+        method.advance((), points[:25])
+        assert len(method) == 25
+
+    def test_shared_density_connects_adjacent_mcs(self):
+        # A dense bar spanning several MC radii must come out as ONE cluster.
+        points = [
+            StreamPoint(i, (0.05 * i, 0.0), float(i)) for i in range(400)
+        ]
+        method = DBStream(radius=1.0, dim=2, fade=0.0005, alpha=0.1)
+        method.advance(points, ())
+        snapshot = method.snapshot()
+        assert snapshot.num_clusters == 1
+
+
+class TestEDMStream:
+    def test_separates_far_blobs(self):
+        points, truth = blob_points([(0, 0), (10, 10), (20, 0)], 80)
+        method = EDMStream(radius=1.0, dim=2, fade=0.0005, separation=4.0)
+        method.advance(points, ())
+        snapshot = method.snapshot()
+        pids = [p.pid for p in points]
+        ari = adjusted_rand_index(
+            [truth[p] for p in pids], snapshot.label_array(pids)
+        )
+        assert ari > 0.9
+
+    def test_cells_bounded(self):
+        points, _ = blob_points([(0, 0)], 300)
+        method = EDMStream(radius=1.0, dim=2)
+        method.advance(points, ())
+        assert method.num_cells() < 30
+
+    def test_dependency_tree_has_one_root_per_blob(self):
+        points, _ = blob_points([(0, 0), (30, 30)], 120)
+        method = EDMStream(radius=1.0, dim=2, fade=0.0005, separation=5.0)
+        method.advance(points, ())
+        assignment = method.dependency_tree()
+        roots = {cid for cid in assignment.values()}
+        assert len(roots) == 2
+
+    def test_sparse_cells_are_outliers(self):
+        lone = [StreamPoint(0, (100.0, 100.0), 0.0)]
+        points, _ = blob_points([(0, 0)], 100)
+        method = EDMStream(radius=1.0, dim=2, fade=0.0005, min_density=2.0)
+        method.advance(points + lone, ())
+        snapshot = method.snapshot()
+        assert snapshot.label_of(0) == snapshot.NOISE_ID
+
+    def test_insertion_faster_than_exact(self):
+        # Structural, not a timing assertion: EDMStream touches only its
+        # cell summaries on insert, so the number of cells it keeps is far
+        # below the window size.
+        points = clustered_stream(9, 500)
+        method = EDMStream(radius=0.7, dim=2)
+        method.advance(points, ())
+        assert method.num_cells() < len(points) / 3

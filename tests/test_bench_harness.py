@@ -1,0 +1,101 @@
+"""Unit tests for the benchmark harness and reporting helpers."""
+
+import pytest
+
+from repro.bench.harness import (
+    default_measured_strides,
+    measure_method,
+    prefill,
+    steady_slides,
+    window_ari,
+)
+from repro.bench.reporting import Table
+from repro.common.config import WindowSpec
+from repro.common.points import make_points
+from repro.core.disc import DISC
+from tests.conftest import clustered_stream
+
+
+class TestSteadySlides:
+    def test_shapes(self):
+        spec = WindowSpec(window=20, stride=5)
+        points = make_points([(float(i), 0.0) for i in range(40)])
+        window, slides = steady_slides(points, spec, 3)
+        assert len(window) == 20
+        assert len(slides) == 3
+        for delta_in, delta_out in slides:
+            assert len(delta_in) == len(delta_out) == 5
+
+    def test_fifo_consistency(self):
+        spec = WindowSpec(window=20, stride=5)
+        points = make_points([(float(i), 0.0) for i in range(40)])
+        _, slides = steady_slides(points, spec, 2)
+        assert [p.pid for p in slides[0][1]] == [0, 1, 2, 3, 4]
+        assert [p.pid for p in slides[0][0]] == [20, 21, 22, 23, 24]
+
+    def test_too_short_stream_rejected(self):
+        spec = WindowSpec(window=20, stride=5)
+        points = make_points([(float(i), 0.0) for i in range(22)])
+        with pytest.raises(ValueError):
+            steady_slides(points, spec, 3)
+
+    def test_default_measured_strides_bounds(self):
+        assert default_measured_strides(WindowSpec(1000, 1)) == 12
+        assert default_measured_strides(WindowSpec(100, 50)) == 3
+        assert default_measured_strides(WindowSpec(100, 10)) == 5
+
+
+class TestMeasureMethod:
+    def test_result_fields(self):
+        spec = WindowSpec(window=60, stride=15)
+        points = clustered_stream(1, 200)
+        result = measure_method(DISC(0.7, 4), points, spec, n_measured=4)
+        assert result["mean_stride_s"] > 0
+        assert result["per_point_s"] == pytest.approx(
+            result["mean_stride_s"] / 15
+        )
+        assert result["range_searches"] > 0
+        assert result["n_measured"] == 4
+
+    def test_prefill_produces_full_window(self):
+        spec = WindowSpec(window=60, stride=15)
+        points = clustered_stream(2, 100)
+        disc = DISC(0.7, 4)
+        prefill(disc, points[:60], spec)
+        assert len(disc) == 60
+
+    def test_window_ari_perfect_on_self(self):
+        spec = WindowSpec(window=60, stride=15)
+        points = clustered_stream(3, 60)
+        disc = DISC(0.7, 4)
+        disc.advance(points, ())
+        pids = [p.pid for p in points]
+        truth = {pid: disc.snapshot().label_of(pid) for pid in pids}
+        assert window_ari(disc, truth, pids) == 1.0
+
+
+class TestTable:
+    def test_alignment_and_caption(self):
+        table = Table("My caption", ["col", "value"])
+        table.add("row-one", 1.23456)
+        table.add("r2", 42)
+        text = table.to_text()
+        lines = text.splitlines()
+        assert lines[0] == "My caption"
+        assert "col" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "1.235" in text  # float formatting to 4 significant digits
+        assert "42" in text
+
+    def test_str(self):
+        table = Table("cap", ["a"])
+        table.add("x")
+        assert str(table) == table.to_text()
+
+    def test_write_result(self, tmp_path, monkeypatch):
+        import repro.bench.reporting as reporting
+
+        monkeypatch.setattr(reporting, "RESULTS_DIR", str(tmp_path))
+        path = reporting.write_result("unit", "hello", echo=False)
+        with open(path) as handle:
+            assert handle.read() == "hello\n"

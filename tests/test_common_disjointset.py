@@ -1,0 +1,78 @@
+"""Unit tests for the cluster-id disjoint set."""
+
+from repro.common.disjointset import DisjointSet
+
+
+class TestDisjointSet:
+    def test_make_returns_distinct_ids(self):
+        ds = DisjointSet()
+        ids = [ds.make() for _ in range(10)]
+        assert len(set(ids)) == 10
+
+    def test_fresh_ids_are_own_roots(self):
+        ds = DisjointSet()
+        a = ds.make()
+        assert ds.find(a) == a
+
+    def test_union_connects(self):
+        ds = DisjointSet()
+        a, b = ds.make(), ds.make()
+        assert not ds.connected(a, b)
+        root = ds.union(a, b)
+        assert ds.connected(a, b)
+        assert ds.find(a) == ds.find(b) == root
+
+    def test_union_is_idempotent(self):
+        ds = DisjointSet()
+        a, b = ds.make(), ds.make()
+        first = ds.union(a, b)
+        second = ds.union(a, b)
+        assert first == second
+
+    def test_transitive_union(self):
+        ds = DisjointSet()
+        ids = [ds.make() for _ in range(5)]
+        for left, right in zip(ids, ids[1:]):
+            ds.union(left, right)
+        roots = {ds.find(i) for i in ids}
+        assert len(roots) == 1
+
+    def test_find_registers_unknown_ids(self):
+        ds = DisjointSet()
+        assert ds.find(42) == 42
+        # New ids minted afterwards must not collide with the adopted one.
+        fresh = ds.make()
+        assert fresh != 42
+
+    def test_union_by_size_keeps_larger_root(self):
+        ds = DisjointSet()
+        ids = [ds.make() for _ in range(4)]
+        big = ds.union(ids[0], ids[1])
+        big = ds.union(big, ids[2])
+        merged = ds.union(ids[3], big)
+        assert merged == ds.find(big)
+
+    def test_discard_only_removes_lone_roots(self):
+        ds = DisjointSet()
+        a, b = ds.make(), ds.make()
+        ds.union(a, b)
+        before = len(ds)
+        ds.discard(ds.find(a))  # set has size 2: must refuse
+        assert len(ds) == before
+        lone = ds.make()
+        ds.discard(lone)
+        assert len(ds) == before
+
+    def test_len_counts_known_ids(self):
+        ds = DisjointSet()
+        for _ in range(7):
+            ds.make()
+        assert len(ds) == 7
+
+    def test_many_unions_path_compression(self):
+        ds = DisjointSet()
+        ids = [ds.make() for _ in range(200)]
+        for left, right in zip(ids, ids[1:]):
+            ds.union(left, right)
+        root = ds.find(ids[0])
+        assert all(ds.find(i) == root for i in ids)

@@ -1,0 +1,179 @@
+"""Constructed scenarios for each of the six cluster-evolution events.
+
+Geometry is laid out so each window advance triggers exactly the evolution
+type under test; labels are cross-checked against from-scratch DBSCAN.
+"""
+
+import pytest
+
+from repro.baselines.dbscan import SlidingDBSCAN
+from repro.common.points import StreamPoint
+from repro.core.disc import DISC
+from repro.core.events import EvolutionKind, StrideSummary
+from repro.metrics.compare import assert_equivalent
+
+
+def sp(pid, x, y):
+    return StreamPoint(pid, (float(x), float(y)), float(pid))
+
+
+def chain(start_id, x0, n, gap=0.4, y=0.0):
+    return [sp(start_id + i, x0 + i * gap, y) for i in range(n)]
+
+
+def verify_against_dbscan(disc, window_points):
+    reference = SlidingDBSCAN(disc.params.eps, disc.params.tau)
+    reference.advance(window_points, ())
+    points = {p.pid: p.coords for p in window_points}
+    assert_equivalent(disc.snapshot(), reference.snapshot(), points, disc.params)
+
+
+class TestEmergence:
+    def test_new_cluster_emerges(self):
+        disc = DISC(eps=0.5, tau=3)
+        summary = disc.advance(chain(0, 0.0, 5), ())
+        assert summary.count(EvolutionKind.EMERGE) == 1
+        assert disc.snapshot().num_clusters == 1
+
+    def test_two_separate_emergences(self):
+        disc = DISC(eps=0.5, tau=3)
+        summary = disc.advance(chain(0, 0.0, 5) + chain(100, 50.0, 5), ())
+        assert summary.count(EvolutionKind.EMERGE) == 2
+        assert disc.snapshot().num_clusters == 2
+
+    def test_noise_does_not_emerge(self):
+        disc = DISC(eps=0.5, tau=3)
+        summary = disc.advance([sp(0, 0, 0), sp(1, 10, 10)], ())
+        assert summary.events == []
+        assert disc.snapshot().num_clusters == 0
+
+
+class TestExpansion:
+    def test_cluster_grows(self):
+        disc = DISC(eps=0.5, tau=3)
+        disc.advance(chain(0, 0.0, 5), ())
+        summary = disc.advance(chain(100, 2.0, 3), ())
+        assert summary.count(EvolutionKind.EXPAND) == 1
+        assert disc.snapshot().num_clusters == 1
+        # The cluster id carried over: expansion, not emergence.
+        assert summary.count(EvolutionKind.EMERGE) == 0
+
+
+class TestMerge:
+    def test_bridge_merges_two_clusters(self):
+        disc = DISC(eps=0.5, tau=3)
+        left = chain(0, 0.0, 5)  # spans x = 0 .. 1.6
+        right = chain(100, 3.0, 5)  # spans x = 3.0 .. 4.6
+        disc.advance(left + right, ())
+        assert disc.snapshot().num_clusters == 2
+        bridge = chain(200, 1.8, 3, gap=0.45)
+        summary = disc.advance(bridge, ())
+        assert summary.count(EvolutionKind.MERGE) == 1
+        assert disc.snapshot().num_clusters == 1
+        verify_against_dbscan(disc, left + right + bridge)
+
+    def test_merge_unifies_labels(self):
+        disc = DISC(eps=0.5, tau=3)
+        left = chain(0, 0.0, 5)
+        right = chain(100, 3.0, 5)
+        disc.advance(left + right, ())
+        disc.advance(chain(200, 1.8, 3, gap=0.45), ())
+        labels = disc.labels()
+        assert labels[0] == labels[104]
+
+
+class TestSplit:
+    def test_removing_bridge_splits(self):
+        disc = DISC(eps=0.5, tau=3)
+        bridge = chain(200, 1.8, 3, gap=0.45)
+        left = chain(0, 0.0, 5)
+        right = chain(100, 3.0, 5)
+        disc.advance(left + right + bridge, ())
+        assert disc.snapshot().num_clusters == 1
+        summary = disc.advance((), bridge)
+        assert summary.count(EvolutionKind.SPLIT) == 1
+        assert disc.snapshot().num_clusters == 2
+        verify_against_dbscan(disc, left + right)
+
+    def test_split_labels_diverge(self):
+        disc = DISC(eps=0.5, tau=3)
+        bridge = chain(200, 1.8, 3, gap=0.45)
+        left = chain(0, 0.0, 5)
+        right = chain(100, 3.0, 5)
+        disc.advance(left + right + bridge, ())
+        disc.advance((), bridge)
+        labels = disc.labels()
+        assert labels[0] != labels[104]
+
+    def test_three_way_split(self):
+        disc = DISC(eps=0.5, tau=2)
+        # Arms at x = 2.0-3.2, 6.0-7.2, 10.0-11.2; linker chains span the gaps.
+        arms = [chain(100 * a, 2.0 + a * 4.0, 4) for a in range(3)]
+        linkers = (
+            chain(300, 3.65, 6, gap=0.45)  # joins arm0 to arm1
+            + chain(400, 7.65, 6, gap=0.45)  # joins arm1 to arm2
+        )
+        window = [p for arm in arms for p in arm] + linkers
+        disc.advance(window, ())
+        assert disc.snapshot().num_clusters == 1
+        summary = disc.advance((), linkers)
+        split_events = [
+            e for e in summary.events if e.kind is EvolutionKind.SPLIT
+        ]
+        assert split_events
+        assert disc.snapshot().num_clusters == 3
+        verify_against_dbscan(disc, [p for arm in arms for p in arm])
+
+
+class TestShrinkAndDissipate:
+    def test_shrink_keeps_cluster(self):
+        disc = DISC(eps=0.5, tau=3)
+        points = chain(0, 0.0, 8)
+        disc.advance(points, ())
+        old_label = disc.labels()[4]
+        summary = disc.advance((), points[:2])
+        assert summary.count(EvolutionKind.SHRINK) >= 1
+        assert summary.count(EvolutionKind.SPLIT) == 0
+        assert disc.snapshot().num_clusters == 1
+        assert disc.labels()[4] == old_label
+
+    def test_dissipation(self):
+        disc = DISC(eps=0.5, tau=3)
+        points = chain(0, 0.0, 5)
+        disc.advance(points, ())
+        summary = disc.advance((), points)
+        assert summary.count(EvolutionKind.DISSIPATE) >= 1
+        assert disc.snapshot().num_clusters == 0
+        assert len(disc) == 0
+
+    def test_partial_dissipation_to_noise(self):
+        disc = DISC(eps=0.5, tau=3)
+        points = chain(0, 0.0, 5)
+        disc.advance(points, ())
+        disc.advance((), points[1:])
+        snapshot = disc.snapshot()
+        assert snapshot.num_clusters == 0
+        assert snapshot.label_of(0) == snapshot.NOISE_ID
+
+
+class TestStrideSummary:
+    def test_counts(self):
+        summary = StrideSummary()
+        assert summary.count(EvolutionKind.SPLIT) == 0
+
+    def test_summary_fields(self):
+        disc = DISC(eps=0.5, tau=3)
+        summary = disc.advance(chain(0, 0.0, 5), ())
+        assert summary.num_inserted == 5
+        assert summary.num_deleted == 0
+        # Chain endpoints have only two epsilon-neighbours (self + 1 < tau),
+        # so they are borders: three interior points become neo-cores.
+        assert summary.num_neo_cores == 3
+        assert summary.num_ex_cores == 0
+
+    def test_trigger_recorded(self):
+        disc = DISC(eps=0.5, tau=3)
+        summary = disc.advance(chain(0, 0.0, 5), ())
+        event = summary.events[0]
+        assert event.trigger in {0, 1, 2, 3, 4}
+        assert event.cluster_ids

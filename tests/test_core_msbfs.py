@@ -1,0 +1,284 @@
+"""MS-BFS connectivity checks against networkx ground truth.
+
+The core contract: for any seed set of cores, the number of connected
+components reported (and the membership of fully traversed components) must
+match the actual core graph — under every combination of the multi-starter
+and epoch-probing flags.
+"""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.common.config import ClusteringParams
+from repro.common.points import StreamPoint
+from repro.core.collect import collect
+from repro.core.msbfs import check_connectivity
+from repro.core.state import WindowState
+from repro.index.rtree import RTree
+
+FLAG_GRID = [
+    (True, True),
+    (True, False),
+    (False, True),
+    (False, False),
+]
+
+
+def build_state(points, eps, tau):
+    """Load points into a WindowState + RTree via the COLLECT machinery."""
+    params = ClusteringParams(eps, tau)
+    state = WindowState(params)
+    index = RTree()
+    stream = [StreamPoint(pid, coords, float(pid)) for pid, coords in points]
+    collect(state, index, stream, ())
+    return state, index
+
+
+def core_graph(points, eps, tau):
+    """The reference core graph as a networkx object."""
+    graph = nx.Graph()
+    counts = {
+        pid: sum(
+            1
+            for _, other in points
+            if sum((a - b) ** 2 for a, b in zip(coords, other)) <= eps * eps
+        )
+        for pid, coords in points
+    }
+    cores = {pid for pid, n in counts.items() if n >= tau}
+    graph.add_nodes_from(cores)
+    coords_of = dict(points)
+    for pid in cores:
+        for qid in cores:
+            if pid < qid:
+                dist_sq = sum(
+                    (a - b) ** 2 for a, b in zip(coords_of[pid], coords_of[qid])
+                )
+                if dist_sq <= eps * eps:
+                    graph.add_edge(pid, qid)
+    return graph, cores
+
+
+def random_points(seed, n, span=6.0):
+    rng = random.Random(seed)
+    return [
+        (i, (rng.uniform(0, span), rng.uniform(0, span))) for i in range(n)
+    ]
+
+
+class TestConnectivity:
+    @pytest.mark.parametrize("multi_starter,epoch", FLAG_GRID)
+    def test_empty_seed_set(self, multi_starter, epoch):
+        state, index = build_state(random_points(0, 30), 1.0, 3)
+        result = check_connectivity(
+            index, state, [], multi_starter=multi_starter, epoch_probing=epoch
+        )
+        assert result.num_components == 0
+        assert result.connected
+
+    @pytest.mark.parametrize("multi_starter,epoch", FLAG_GRID)
+    def test_single_seed(self, multi_starter, epoch):
+        points = [(0, (0.0, 0.0)), (1, (0.5, 0.0)), (2, (1.0, 0.0))]
+        state, index = build_state(points, 0.6, 2)
+        result = check_connectivity(
+            index, state, [0], multi_starter=multi_starter, epoch_probing=epoch
+        )
+        assert result.num_components == 1
+
+    @pytest.mark.parametrize("multi_starter,epoch", FLAG_GRID)
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_networkx(self, multi_starter, epoch, seed):
+        points = random_points(seed, 60)
+        eps, tau = 0.9, 3
+        state, index = build_state(points, eps, tau)
+        graph, cores = core_graph(points, eps, tau)
+        if len(cores) < 4:
+            pytest.skip("degenerate instance")
+        rng = random.Random(seed + 100)
+        seeds = rng.sample(sorted(cores), min(6, len(cores)))
+        result = check_connectivity(
+            index,
+            state,
+            seeds,
+            multi_starter=multi_starter,
+            epoch_probing=epoch,
+        )
+        want = len({frozenset(nx.node_connected_component(graph, s)) for s in seeds})
+        assert result.num_components == want
+
+    @pytest.mark.parametrize("multi_starter,epoch", FLAG_GRID)
+    def test_two_far_components(self, multi_starter, epoch):
+        left = [(i, (0.1 * i, 0.0)) for i in range(10)]
+        right = [(100 + i, (100.0 + 0.1 * i, 0.0)) for i in range(10)]
+        state, index = build_state(left + right, 0.5, 3)
+        result = check_connectivity(
+            index,
+            state,
+            [0, 100],
+            multi_starter=multi_starter,
+            epoch_probing=epoch,
+        )
+        assert result.num_components == 2
+        # One side was exhausted; the other is the surviving search.
+        exhausted_members = {pid for comp in result.exhausted for pid in comp}
+        survivor_members = set(result.survivor)
+        all_cores = {pid for pid, _ in left + right if state.is_core(state.records[pid])}
+        assert exhausted_members <= all_cores
+        assert survivor_members <= all_cores
+        assert not (exhausted_members & survivor_members)
+
+    @pytest.mark.parametrize("multi_starter,epoch", FLAG_GRID)
+    def test_exhausted_components_are_complete(self, multi_starter, epoch):
+        # Three well-separated chains; seeds in all three.
+        chains = []
+        for c, offset in enumerate((0.0, 50.0, 100.0)):
+            chains.extend(
+                (c * 100 + i, (offset + 0.3 * i, 0.0)) for i in range(8)
+            )
+        eps, tau = 0.5, 2
+        state, index = build_state(chains, eps, tau)
+        graph, cores = core_graph(chains, eps, tau)
+        result = check_connectivity(
+            index,
+            state,
+            [0, 100, 200],
+            multi_starter=multi_starter,
+            epoch_probing=epoch,
+        )
+        assert result.num_components == 3
+        for component in result.exhausted:
+            want = nx.node_connected_component(graph, component[0])
+            assert set(component) == set(want)
+
+    def test_on_border_sees_non_cores(self):
+        # A core chain with one dangling border point.
+        points = [(0, (0.0, 0.0)), (1, (0.4, 0.0)), (2, (0.8, 0.0)),
+                  (3, (0.8, 0.45))]
+        state, index = build_state(points, 0.5, 3)
+        assert not state.is_core(state.records[3])
+        touched = []
+        check_connectivity(
+            index,
+            state,
+            [0, 2],
+            on_border=lambda border, core: touched.append((border, core)),
+        )
+        assert any(border == 3 for border, _ in touched)
+
+    @pytest.mark.parametrize("multi_starter,epoch", FLAG_GRID)
+    def test_duplicate_seeds_collapse(self, multi_starter, epoch):
+        points = [(i, (0.3 * i, 0.0)) for i in range(10)]
+        state, index = build_state(points, 0.5, 2)
+        result = check_connectivity(
+            index,
+            state,
+            [0, 0, 5, 5],
+            multi_starter=multi_starter,
+            epoch_probing=epoch,
+        )
+        assert result.num_components == 1
+
+
+class TestCollectComponent:
+    def test_full_component_membership(self):
+        from repro.core.msbfs import collect_component
+
+        points = [(i, (0.3 * i, 0.0)) for i in range(10)]
+        points += [(100 + i, (50.0 + 0.3 * i, 0.0)) for i in range(5)]
+        state, index = build_state(points, 0.5, 2)
+        component = collect_component(index, state, 0)
+        assert sorted(component) == list(range(10))
+
+    def test_on_border_callback(self):
+        from repro.core.msbfs import collect_component
+
+        points = [(0, (0.0, 0.0)), (1, (0.4, 0.0)), (2, (0.8, 0.0)),
+                  (3, (0.8, 0.45))]
+        state, index = build_state(points, 0.5, 3)
+        touched = []
+        collect_component(
+            index, state, 1, on_border=lambda b, c: touched.append(b)
+        )
+        assert 3 in touched
+
+    def test_conflict_path_is_exercised_by_multiclass_split(self):
+        # White-box: the end-of-stride claim settlement must actually run a
+        # disambiguating connectivity check on the canonical two-cuts
+        # instance (and report the extra split it finds).
+        import repro.core.cluster as cluster_mod
+        from repro.common.points import StreamPoint
+        from repro.core.disc import DISC
+
+        calls = []
+        original = cluster_mod._settle_claims
+
+        def spy(*args, **kwargs):
+            result = original(*args, **kwargs)
+            calls.append(result)
+            return result
+
+        cluster_mod._settle_claims = spy
+        try:
+            pts = [StreamPoint(i, (i * 0.9, 0.0), 0.0) for i in range(8)]
+            disc = DISC(1.0, 2)
+            disc.advance(pts, ())
+            disc.advance((), [pts[2], pts[5]])
+        finally:
+            cluster_mod._settle_claims = original
+        # Settlement runs once per stride; whether it must intervene depends
+        # on which fragments the per-class checks happened to exhaust. The
+        # hard guarantee — three distinct ids — is asserted either way.
+        assert calls, "claim settlement never ran"
+        assert disc.snapshot().num_clusters == 3
+        assert len(set(disc.labels().values())) == 3
+
+    def test_settle_claims_relabels_contested_id(self):
+        # Direct unit test of the conflict branch: two far-apart components
+        # both claiming cluster id 7 must end up with distinct ids.
+        from repro.core.cluster import _settle_claims
+
+        points = [(i, (0.3 * i, 0.0)) for i in range(6)]
+        points += [(100 + i, (50.0 + 0.3 * i, 0.0)) for i in range(6)]
+        state, index = build_state(points, 0.5, 2)
+        for rec in state.records.values():
+            rec.cid = 7
+            rec.was_core = True
+        kept = {7: [0, 100]}
+        events = _settle_claims(
+            state,
+            index,
+            kept,
+            {7},
+            multi_starter=True,
+            epoch_probing=True,
+            on_border=None,
+        )
+        assert len(events) == 1
+        left = state.cids.find(state.records[0].cid)
+        right = state.cids.find(state.records[100].cid)
+        assert left != right
+
+    def test_settle_claims_keeps_connected_claimants(self):
+        from repro.core.cluster import _settle_claims
+
+        points = [(i, (0.3 * i, 0.0)) for i in range(12)]
+        state, index = build_state(points, 0.5, 2)
+        for rec in state.records.values():
+            rec.cid = 7
+            rec.was_core = True
+        kept = {7: [0, 11]}
+        events = _settle_claims(
+            state,
+            index,
+            kept,
+            {7},
+            multi_starter=True,
+            epoch_probing=True,
+            on_border=None,
+        )
+        assert events == []
+        assert state.cids.find(state.records[0].cid) == state.cids.find(
+            state.records[11].cid
+        )

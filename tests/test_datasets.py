@@ -1,0 +1,173 @@
+"""Unit tests for every dataset simulator and the registry."""
+
+import pytest
+
+from repro.datasets import (
+    DATASETS,
+    blob_stream,
+    covid_stream,
+    dtg_stream,
+    geolife_stream,
+    iris_stream,
+    load_dataset,
+    maze_stream,
+    uniform_noise,
+)
+from repro.datasets.synthetic import drifting_blob_stream, two_ring_stream
+
+
+GENERATORS = {
+    "dtg": (dtg_stream, 2),
+    "geolife": (geolife_stream, 3),
+    "covid": (covid_stream, 2),
+    "iris": (iris_stream, 4),
+}
+
+
+class TestGeneratorContracts:
+    @pytest.mark.parametrize("name", list(GENERATORS))
+    def test_determinism(self, name):
+        generator, _ = GENERATORS[name]
+        a = generator(200, seed=5)
+        b = generator(200, seed=5)
+        assert a == b
+
+    @pytest.mark.parametrize("name", list(GENERATORS))
+    def test_seeds_differ(self, name):
+        generator, _ = GENERATORS[name]
+        assert generator(100, seed=1) != generator(100, seed=2)
+
+    @pytest.mark.parametrize("name", list(GENERATORS))
+    def test_dimensions(self, name):
+        generator, dim = GENERATORS[name]
+        points = generator(50, seed=0)
+        assert all(len(p.coords) == dim for p in points)
+
+    @pytest.mark.parametrize("name", list(GENERATORS))
+    def test_ids_and_times_monotone(self, name):
+        generator, _ = GENERATORS[name]
+        points = generator(100, seed=0)
+        pids = [p.pid for p in points]
+        assert pids == sorted(pids)
+        times = [p.time for p in points]
+        assert times == sorted(times)
+
+    @pytest.mark.parametrize("name", list(GENERATORS))
+    def test_start_id_offset(self, name):
+        generator, _ = GENERATORS[name]
+        points = generator(10, seed=0, start_id=500)
+        assert points[0].pid == 500
+
+
+class TestMaze:
+    def test_truth_labels_cover_stream(self):
+        points, truth = maze_stream(500, seed=0)
+        assert set(truth) == {p.pid for p in points}
+
+    def test_hundred_trajectories(self):
+        _, truth = maze_stream(1000, seed=0)
+        assert len(set(truth.values())) == 100
+
+    def test_round_robin_emission(self):
+        points, truth = maze_stream(250, seed=0, n_seeds=5)
+        labels = [truth[p.pid] for p in points[:10]]
+        assert labels == [0, 1, 2, 3, 4, 0, 1, 2, 3, 4]
+
+    def test_consecutive_steps_are_close(self):
+        points, truth = maze_stream(400, seed=1, n_seeds=4, step=0.35, jitter=0.05)
+        by_walker = {}
+        for p in points:
+            by_walker.setdefault(truth[p.pid], []).append(p.coords)
+        for coords in by_walker.values():
+            for a, b in zip(coords, coords[1:]):
+                dist = ((a[0] - b[0]) ** 2 + (a[1] - b[1]) ** 2) ** 0.5
+                assert dist < 1.0
+
+    def test_walkers_stay_near_arena(self):
+        points, _ = maze_stream(2000, seed=2, extent=50.0)
+        for p in points:
+            assert -1.0 <= p.coords[0] <= 51.0
+            assert -1.0 <= p.coords[1] <= 51.0
+
+
+class TestDTGStructure:
+    def test_points_lie_on_roads(self):
+        # With zero jitter, one coordinate of every record must be a
+        # multiple of the road gap.
+        points = dtg_stream(300, seed=0, gps_jitter=0.0)
+        on_road = 0
+        for p in points:
+            x, y = p.coords
+            if min(abs(x / 0.5 - round(x / 0.5)), abs(y / 0.5 - round(y / 0.5))) < 1e-9:
+                on_road += 1
+        assert on_road == len(points)
+
+    def test_congestion_makes_hotspots(self):
+        points = dtg_stream(2000, seed=0)
+        from collections import Counter
+
+        cells = Counter(
+            (round(p.coords[0] * 2), round(p.coords[1] * 2)) for p in points
+        )
+        top = cells.most_common(1)[0][1]
+        assert top > 5 * (len(points) / len(cells))
+
+
+class TestOtherSims:
+    def test_geolife_altitude_squashed(self):
+        points = geolife_stream(500, seed=0)
+        altitudes = [p.coords[2] for p in points]
+        assert max(altitudes) <= 0.0031
+        assert min(altitudes) >= 0.0
+
+    def test_covid_bounds(self):
+        points = covid_stream(500, seed=0)
+        for p in points:
+            assert -62.0 <= p.coords[0] <= 72.0
+
+    def test_iris_magnitude_scaled(self):
+        points = iris_stream(500, seed=0)
+        magnitudes = [p.coords[3] for p in points]
+        assert min(magnitudes) >= 20.0 - 1e-9
+        assert max(magnitudes) <= 95.0
+
+    def test_iris_depth_non_negative(self):
+        points = iris_stream(500, seed=0)
+        assert all(p.coords[2] >= 0.0 for p in points)
+
+
+class TestSynthetic:
+    def test_blob_stream_dims(self):
+        points = blob_stream(100, [(0.0, 0.0, 0.0)], seed=0)
+        assert all(len(p.coords) == 3 for p in points)
+
+    def test_uniform_noise_bounds(self):
+        points = uniform_noise(100, dim=2, bounds=(2.0, 3.0), seed=0)
+        for p in points:
+            assert all(2.0 <= c <= 3.0 for c in p.coords)
+
+    def test_drifting_blobs_deterministic(self):
+        assert drifting_blob_stream(100, seed=4) == drifting_blob_stream(100, seed=4)
+
+    def test_two_rings_radii(self):
+        points = two_ring_stream(400, seed=0)
+        for p in points:
+            radius = (p.coords[0] ** 2 + p.coords[1] ** 2) ** 0.5
+            assert 1.0 < radius < 6.0
+
+
+class TestRegistry:
+    def test_all_entries_load(self):
+        for key, info in DATASETS.items():
+            points = info.load(50, seed=0)
+            assert len(points) == 50
+            assert all(len(p.coords) == info.dim for p in points)
+
+    def test_load_dataset_case_insensitive(self):
+        assert load_dataset("DTG", 10) == load_dataset("dtg", 10)
+
+    def test_registry_parameters_sane(self):
+        for info in DATASETS.values():
+            assert info.eps > 0
+            assert info.tau >= 1
+            assert info.window > 0

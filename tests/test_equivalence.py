@@ -1,0 +1,115 @@
+"""The paper's central claim, end to end: DISC == DBSCAN, always.
+
+Randomized sliding-window streams are replayed into DISC (in every
+optimization configuration), IncDBSCAN and EXTRA-N; after every single
+stride all four must be equivalent to from-scratch DBSCAN under the
+contract of DESIGN.md §3.4.
+"""
+
+import pytest
+
+from repro.baselines.dbscan import SlidingDBSCAN
+from repro.baselines.extran import ExtraN
+from repro.baselines.incdbscan import IncrementalDBSCAN
+from repro.common.config import WindowSpec
+from repro.core.disc import DISC
+from repro.metrics.compare import assert_equivalent
+from tests.conftest import clustered_stream, run_windowed
+
+
+def check_stream(methods, reference, points, spec):
+    def checker(window):
+        coords = {p.pid: p.coords for p in window}
+        ref_snapshot = reference.snapshot()
+        for method in methods:
+            assert_equivalent(
+                method.snapshot(), ref_snapshot, coords, reference.params
+            )
+
+    run_windowed(list(methods) + [reference], points, spec, checker)
+
+
+class TestDiscEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_streams(self, seed):
+        spec = WindowSpec(window=120, stride=30)
+        points = clustered_stream(seed, 420)
+        check_stream(
+            [DISC(0.7, 4)], SlidingDBSCAN(0.7, 4), points, spec
+        )
+
+    @pytest.mark.parametrize(
+        "multi_starter,epoch", [(True, False), (False, True), (False, False)]
+    )
+    def test_ablation_configs_stay_exact(self, multi_starter, epoch):
+        spec = WindowSpec(window=100, stride=20)
+        points = clustered_stream(42, 300)
+        disc = DISC(0.7, 4, multi_starter=multi_starter, epoch_probing=epoch)
+        check_stream([disc], SlidingDBSCAN(0.7, 4), points, spec)
+
+    @pytest.mark.parametrize("stride", [10, 25, 50, 100])
+    def test_stride_sizes(self, stride):
+        spec = WindowSpec(window=100, stride=stride)
+        points = clustered_stream(7, 350)
+        check_stream([DISC(0.7, 4)], SlidingDBSCAN(0.7, 4), points, spec)
+
+    @pytest.mark.parametrize("eps,tau", [(0.4, 2), (0.9, 6), (1.5, 10)])
+    def test_threshold_combinations(self, eps, tau):
+        spec = WindowSpec(window=120, stride=40)
+        points = clustered_stream(11, 360)
+        check_stream([DISC(eps, tau)], SlidingDBSCAN(eps, tau), points, spec)
+
+    def test_three_dimensional(self):
+        spec = WindowSpec(window=100, stride=25)
+        points = clustered_stream(3, 300, dim=3)
+        check_stream([DISC(0.9, 4)], SlidingDBSCAN(0.9, 4), points, spec)
+
+    def test_pure_noise(self):
+        spec = WindowSpec(window=80, stride=20)
+        points = clustered_stream(5, 240, noise_fraction=1.0)
+        check_stream([DISC(0.3, 5)], SlidingDBSCAN(0.3, 5), points, spec)
+
+    def test_single_dense_blob(self):
+        spec = WindowSpec(window=80, stride=20)
+        points = clustered_stream(
+            6, 240, centers=((0.0, 0.0),), noise_fraction=0.0
+        )
+        check_stream([DISC(0.7, 4)], SlidingDBSCAN(0.7, 4), points, spec)
+
+
+class TestIncDBSCANEquivalence:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_streams(self, seed):
+        spec = WindowSpec(window=100, stride=25)
+        points = clustered_stream(seed + 50, 300)
+        check_stream(
+            [IncrementalDBSCAN(0.7, 4)], SlidingDBSCAN(0.7, 4), points, spec
+        )
+
+    def test_matches_disc_events_free(self):
+        # IncDBSCAN and DISC share the exactness contract on the same stream.
+        spec = WindowSpec(window=100, stride=25)
+        points = clustered_stream(99, 300)
+        check_stream(
+            [IncrementalDBSCAN(0.7, 4), DISC(0.7, 4)],
+            SlidingDBSCAN(0.7, 4),
+            points,
+            spec,
+        )
+
+
+class TestExtraNEquivalence:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_streams(self, seed):
+        spec = WindowSpec(window=100, stride=25)
+        points = clustered_stream(seed + 80, 300)
+        check_stream(
+            [ExtraN(0.7, 4, spec)], SlidingDBSCAN(0.7, 4), points, spec
+        )
+
+    def test_small_stride(self):
+        spec = WindowSpec(window=60, stride=5)
+        points = clustered_stream(81, 180)
+        check_stream(
+            [ExtraN(0.7, 4, spec)], SlidingDBSCAN(0.7, 4), points, spec
+        )

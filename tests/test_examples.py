@@ -1,0 +1,70 @@
+"""Smoke tests: every example script runs end to end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name, *args, timeout=180):
+    path = os.path.join(EXAMPLES_DIR, name)
+    result = subprocess.run(
+        [sys.executable, path, *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "clusters" in out
+    assert "final clusters" in out
+
+
+def test_traffic_monitoring():
+    out = run_example("traffic_monitoring.py", "3000")
+    assert "congested segments" in out
+    assert "heaviest congestion" in out
+
+
+def test_earthquake_monitoring():
+    out = run_example("earthquake_monitoring.py", "2500")
+    assert "seismic zones" in out
+    assert "magnitude" in out
+
+
+def test_method_comparison():
+    out = run_example("method_comparison.py", "400", "40")
+    assert "DISC" in out
+    assert "DBSTREAM" in out
+    # Exact methods must report identical high ARI on the same stream.
+    lines = [l for l in out.splitlines() if l.startswith(("DISC", "IncDBSCAN"))]
+    aris = [float(l.split()[-2]) for l in lines]
+    assert len(set(aris)) == 1
+
+
+def test_community_tracking():
+    out = run_example("community_tracking.py", "1500")
+    assert "tracked" in out
+    assert "community" in out
+
+
+def test_network_anomalies():
+    out = run_example("network_anomalies.py", "2500")
+    assert "precision" in out
+    assert "recall" in out
+
+
+@pytest.mark.parametrize(
+    "name", ["quickstart.py", "traffic_monitoring.py",
+             "earthquake_monitoring.py", "method_comparison.py",
+             "community_tracking.py"]
+)
+def test_examples_exist(name):
+    assert os.path.exists(os.path.join(EXAMPLES_DIR, name))

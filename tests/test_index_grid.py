@@ -1,0 +1,127 @@
+"""Unit tests for the grid index (and the linear oracle's own contract)."""
+
+import math
+import random
+
+import pytest
+
+from repro.common.errors import IndexError_
+from repro.index.grid import GridIndex
+from repro.index.linear import LinearScanIndex
+
+
+class TestGridConstruction:
+    def test_cell_side(self):
+        grid = GridIndex(eps=2.0, dim=4)
+        assert grid.side == pytest.approx(1.0)
+
+    def test_bad_eps(self):
+        with pytest.raises(IndexError_):
+            GridIndex(eps=0.0, dim=2)
+
+    def test_bad_dim(self):
+        with pytest.raises(IndexError_):
+            GridIndex(eps=1.0, dim=0)
+
+    def test_same_cell_points_within_eps(self):
+        # The defining grid property: any two points sharing a cell are
+        # within eps of each other.
+        grid = GridIndex(eps=1.0, dim=3)
+        corner_to_corner = math.sqrt(3) * grid.side
+        assert corner_to_corner <= 1.0 + 1e-9
+
+
+class TestGridOperations:
+    def test_insert_delete_roundtrip(self):
+        grid = GridIndex(eps=1.0, dim=2)
+        grid.insert(1, (0.2, 0.2))
+        assert 1 in grid
+        assert grid.coords_of(1) == (0.2, 0.2)
+        grid.delete(1)
+        assert 1 not in grid
+        assert len(grid) == 0
+
+    def test_duplicate_insert_rejected(self):
+        grid = GridIndex(eps=1.0, dim=2)
+        grid.insert(1, (0.0, 0.0))
+        with pytest.raises(IndexError_):
+            grid.insert(1, (0.0, 0.0))
+
+    def test_delete_unknown_rejected(self):
+        with pytest.raises(IndexError_):
+            GridIndex(eps=1.0, dim=2).delete(7)
+
+    def test_empty_cells_are_dropped(self):
+        grid = GridIndex(eps=1.0, dim=2)
+        grid.insert(1, (0.0, 0.0))
+        key = grid.cell_of((0.0, 0.0))
+        assert grid.cell_points(key)
+        grid.delete(1)
+        assert grid.cell_points(key) == {}
+        assert grid.occupied_cells() == []
+
+
+class TestGridBall:
+    @pytest.mark.parametrize("dim", [1, 2, 3, 4])
+    def test_matches_linear_scan(self, dim):
+        grid = GridIndex(eps=1.0, dim=dim)
+        oracle = LinearScanIndex()
+        rng = random.Random(dim)
+        for pid in range(300):
+            coords = tuple(rng.uniform(-5, 5) for _ in range(dim))
+            grid.insert(pid, coords)
+            oracle.insert(pid, coords)
+        for _ in range(60):
+            center = tuple(rng.uniform(-5, 5) for _ in range(dim))
+            radius = rng.uniform(0.05, 1.0)
+            got = sorted(p for p, _ in grid.ball(center, radius))
+            want = sorted(p for p, _ in oracle.ball(center, radius))
+            assert got == want
+
+    def test_negative_coordinates(self):
+        grid = GridIndex(eps=1.0, dim=2)
+        grid.insert(1, (-3.7, -2.1))
+        assert [p for p, _ in grid.ball((-3.5, -2.0), 0.5)] == [1]
+
+    def test_radius_beyond_eps_rejected(self):
+        grid = GridIndex(eps=1.0, dim=2)
+        with pytest.raises(IndexError_):
+            grid.ball((0.0, 0.0), 2.0)
+
+    def test_neighbour_cells_cover_eps(self):
+        grid = GridIndex(eps=1.0, dim=2)
+        rng = random.Random(3)
+        for pid in range(200):
+            grid.insert(pid, (rng.uniform(0, 4), rng.uniform(0, 4)))
+        # Every point within eps of a probe must live in a stencil cell.
+        for _ in range(40):
+            center = (rng.uniform(0, 4), rng.uniform(0, 4))
+            stencil = set(grid.neighbour_cells(grid.cell_of(center)))
+            for pid, coords in grid.ball(center, 1.0):
+                assert grid.cell_of(coords) in stencil
+
+
+class TestLinearScan:
+    def test_mark_unknown_rejected(self):
+        with pytest.raises(IndexError_):
+            LinearScanIndex().mark(1, 1)
+
+    def test_check_invariants(self):
+        index = LinearScanIndex()
+        index.insert(1, (0.0,))
+        index.check_invariants()
+
+    def test_items(self):
+        index = LinearScanIndex()
+        index.insert(1, (0.0, 1.0))
+        index.insert(2, (2.0, 3.0))
+        assert sorted(index.items()) == [(1, (0.0, 1.0)), (2, (2.0, 3.0))]
+
+    def test_stats_track_operations(self):
+        index = LinearScanIndex()
+        index.insert(1, (0.0,))
+        index.ball((0.0,), 1.0)
+        index.delete(1)
+        assert index.stats.inserts == 1
+        assert index.stats.range_searches == 1
+        assert index.stats.deletes == 1

@@ -1,0 +1,84 @@
+"""Unit tests for k-nearest-neighbour search on both indexes."""
+
+import math
+import random
+
+import pytest
+
+from repro.common.errors import IndexError_
+from repro.index.linear import LinearScanIndex
+from repro.index.rtree import RTree
+
+
+def random_points(seed, n, dim=2):
+    rng = random.Random(seed)
+    return [
+        (i, tuple(rng.uniform(0, 10) for _ in range(dim))) for i in range(n)
+    ]
+
+
+class TestNearest:
+    def test_single_nearest(self):
+        tree = RTree()
+        tree.insert(1, (0.0, 0.0))
+        tree.insert(2, (5.0, 5.0))
+        [(pid, _)] = tree.nearest((0.2, 0.0), 1)
+        assert pid == 1
+
+    def test_order_is_nearest_first(self):
+        tree = RTree()
+        for pid, x in [(1, 0.0), (2, 1.0), (3, 2.0), (4, 3.0)]:
+            tree.insert(pid, (x, 0.0))
+        got = [pid for pid, _ in tree.nearest((0.1, 0.0), 3)]
+        assert got == [1, 2, 3]
+
+    def test_k_larger_than_index(self):
+        tree = RTree()
+        tree.insert(1, (0.0, 0.0))
+        assert len(tree.nearest((0.0, 0.0), 10)) == 1
+
+    def test_empty_tree(self):
+        assert RTree().nearest((0.0, 0.0), 3) == []
+
+    def test_bad_k(self):
+        with pytest.raises(IndexError_):
+            RTree().nearest((0.0, 0.0), 0)
+        with pytest.raises(IndexError_):
+            LinearScanIndex().nearest((0.0, 0.0), 0)
+
+    @pytest.mark.parametrize("dim", [2, 3, 4])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_linear_oracle(self, dim, seed):
+        points = random_points(seed, 300, dim)
+        tree = RTree.bulk_load(points)
+        oracle = LinearScanIndex()
+        for pid, coords in points:
+            oracle.insert(pid, coords)
+        rng = random.Random(seed + 77)
+        for _ in range(25):
+            center = tuple(rng.uniform(0, 10) for _ in range(dim))
+            k = rng.randint(1, 15)
+            got = tree.nearest(center, k)
+            want = oracle.nearest(center, k)
+            got_d = [math.dist(c, center) for _, c in got]
+            want_d = [math.dist(c, center) for _, c in want]
+            assert got_d == pytest.approx(want_d)
+
+    def test_after_deletions(self):
+        points = random_points(9, 200)
+        tree = RTree()
+        oracle = LinearScanIndex()
+        for pid, coords in points:
+            tree.insert(pid, coords)
+            oracle.insert(pid, coords)
+        for pid, _ in points[:100]:
+            tree.delete(pid)
+            oracle.delete(pid)
+        center = (5.0, 5.0)
+        got = {pid for pid, _ in tree.nearest(center, 5)}
+        want = {pid for pid, _ in oracle.nearest(center, 5)}
+        # Sets may differ on exact ties; distances must match.
+        got_d = sorted(math.dist(c, center) for _, c in tree.nearest(center, 5))
+        want_d = sorted(math.dist(c, center) for _, c in oracle.nearest(center, 5))
+        assert got_d == pytest.approx(want_d)
+        assert len(got) == len(want) == 5

@@ -1,0 +1,223 @@
+"""Unit tests for the R-tree: structure, searches, epochs, deletions."""
+
+import random
+
+import pytest
+
+from repro.common.errors import IndexError_
+from repro.index.linear import LinearScanIndex
+from repro.index.rtree import RTree
+
+
+def random_points(seed, n, dim=2, span=10.0):
+    rng = random.Random(seed)
+    return [
+        (i, tuple(rng.uniform(0.0, span) for _ in range(dim))) for i in range(n)
+    ]
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = RTree()
+        assert len(tree) == 0
+        assert 5 not in tree
+        assert tree.ball((0.0, 0.0), 1.0) == []
+
+    def test_insert_and_contains(self):
+        tree = RTree()
+        tree.insert(1, (0.5, 0.5))
+        assert 1 in tree
+        assert len(tree) == 1
+        assert tree.coords_of(1) == (0.5, 0.5)
+
+    def test_duplicate_insert_rejected(self):
+        tree = RTree()
+        tree.insert(1, (0.0, 0.0))
+        with pytest.raises(IndexError_):
+            tree.insert(1, (1.0, 1.0))
+
+    def test_delete_unknown_rejected(self):
+        with pytest.raises(IndexError_):
+            RTree().delete(99)
+
+    def test_bad_fanout_rejected(self):
+        with pytest.raises(IndexError_):
+            RTree(max_entries=4, min_entries=3)
+
+    def test_items_roundtrip(self):
+        tree = RTree()
+        pts = random_points(0, 50)
+        for pid, coords in pts:
+            tree.insert(pid, coords)
+        assert sorted(tree.items()) == sorted(pts)
+
+    def test_height_grows(self):
+        tree = RTree()
+        for pid, coords in random_points(1, 200):
+            tree.insert(pid, coords)
+        assert tree.height() >= 2
+        tree.check_invariants()
+
+
+class TestBallSearch:
+    def test_matches_linear_scan(self):
+        tree = RTree()
+        oracle = LinearScanIndex()
+        rng = random.Random(7)
+        for pid, coords in random_points(2, 400):
+            tree.insert(pid, coords)
+            oracle.insert(pid, coords)
+        for _ in range(100):
+            center = (rng.uniform(0, 10), rng.uniform(0, 10))
+            radius = rng.uniform(0.1, 3.0)
+            got = sorted(p for p, _ in tree.ball(center, radius))
+            want = sorted(p for p, _ in oracle.ball(center, radius))
+            assert got == want
+
+    def test_inclusive_boundary(self):
+        tree = RTree()
+        tree.insert(1, (1.0, 0.0))
+        assert [p for p, _ in tree.ball((0.0, 0.0), 1.0)] == [1]
+
+    def test_search_counts_in_stats(self):
+        tree = RTree()
+        tree.insert(1, (0.0, 0.0))
+        tree.ball((0.0, 0.0), 1.0)
+        tree.ball((5.0, 5.0), 1.0)
+        assert tree.stats.range_searches == 2
+
+    def test_3d(self):
+        tree = RTree()
+        oracle = LinearScanIndex()
+        rng = random.Random(11)
+        for pid, coords in random_points(3, 300, dim=3):
+            tree.insert(pid, coords)
+            oracle.insert(pid, coords)
+        for _ in range(50):
+            center = tuple(rng.uniform(0, 10) for _ in range(3))
+            got = sorted(p for p, _ in tree.ball(center, 2.0))
+            want = sorted(p for p, _ in oracle.ball(center, 2.0))
+            assert got == want
+
+
+class TestDeletion:
+    def test_delete_removes(self):
+        tree = RTree()
+        for pid, coords in random_points(4, 100):
+            tree.insert(pid, coords)
+        tree.delete(50)
+        assert 50 not in tree
+        assert len(tree) == 99
+        assert 50 not in {p for p, _ in tree.ball(tree.coords_of(0), 100.0)}
+
+    def test_delete_all_then_reuse(self):
+        tree = RTree()
+        pts = random_points(5, 120)
+        for pid, coords in pts:
+            tree.insert(pid, coords)
+        for pid, _ in pts:
+            tree.delete(pid)
+        assert len(tree) == 0
+        tree.check_invariants()
+        tree.insert(999, (1.0, 1.0))
+        assert [p for p, _ in tree.ball((1.0, 1.0), 0.1)] == [999]
+
+    def test_interleaved_workload_keeps_invariants(self):
+        tree = RTree()
+        oracle = LinearScanIndex()
+        rng = random.Random(9)
+        alive = []
+        next_pid = 0
+        for step in range(1500):
+            if alive and rng.random() < 0.45:
+                pid = alive.pop(rng.randrange(len(alive)))
+                tree.delete(pid)
+                oracle.delete(pid)
+            else:
+                coords = (rng.uniform(0, 10), rng.uniform(0, 10))
+                tree.insert(next_pid, coords)
+                oracle.insert(next_pid, coords)
+                alive.append(next_pid)
+                next_pid += 1
+            if step % 250 == 0:
+                tree.check_invariants()
+                center = (rng.uniform(0, 10), rng.uniform(0, 10))
+                got = sorted(p for p, _ in tree.ball(center, 1.5))
+                want = sorted(p for p, _ in oracle.ball(center, 1.5))
+                assert got == want
+        tree.check_invariants()
+
+
+class TestEpochProbing:
+    def test_unvisited_never_returns_twice(self):
+        tree = RTree()
+        for pid, coords in random_points(6, 300):
+            tree.insert(pid, coords)
+        tick = tree.new_tick()
+        rng = random.Random(13)
+        seen = set()
+        for _ in range(80):
+            center = (rng.uniform(0, 10), rng.uniform(0, 10))
+            got = {p for p, _ in tree.ball_unvisited(center, 2.0, tick)}
+            assert not (got & seen)
+            seen |= got
+
+    def test_new_tick_resets_visibility(self):
+        tree = RTree()
+        tree.insert(1, (0.0, 0.0))
+        tick1 = tree.new_tick()
+        assert tree.ball_unvisited((0.0, 0.0), 1.0, tick1)
+        assert not tree.ball_unvisited((0.0, 0.0), 1.0, tick1)
+        tick2 = tree.new_tick()
+        assert tree.ball_unvisited((0.0, 0.0), 1.0, tick2)
+
+    def test_should_mark_keeps_entries_visible(self):
+        tree = RTree()
+        tree.insert(1, (0.0, 0.0))
+        tree.insert(2, (0.1, 0.0))
+        tick = tree.new_tick()
+        keep = lambda pid: pid != 1  # noqa: E731 - tiny test predicate
+        first = {p for p, _ in tree.ball_unvisited((0.0, 0.0), 1.0, tick, keep)}
+        assert first == {1, 2}
+        second = {p for p, _ in tree.ball_unvisited((0.0, 0.0), 1.0, tick, keep)}
+        assert second == {1}  # 1 was not marked, 2 was
+
+    def test_mark_hides_entry(self):
+        tree = RTree()
+        tree.insert(1, (0.0, 0.0))
+        tick = tree.new_tick()
+        tree.mark(1, tick)
+        assert tree.ball_unvisited((0.0, 0.0), 1.0, tick) == []
+
+    def test_mark_unknown_rejected(self):
+        tree = RTree()
+        with pytest.raises(IndexError_):
+            tree.mark(3, 1)
+
+    def test_insert_after_tick_is_visible(self):
+        tree = RTree()
+        for pid, coords in random_points(8, 200):
+            tree.insert(pid, coords)
+        tick = tree.new_tick()
+        # Exhaust a region, then insert a fresh point inside it.
+        tree.ball_unvisited((5.0, 5.0), 3.0, tick)
+        tree.insert(10_000, (5.0, 5.0))
+        got = {p for p, _ in tree.ball_unvisited((5.0, 5.0), 3.0, tick)}
+        assert got == {10_000}
+
+    def test_matches_linear_oracle_under_mixed_ticks(self):
+        tree = RTree()
+        oracle = LinearScanIndex()
+        rng = random.Random(21)
+        for pid, coords in random_points(10, 250):
+            tree.insert(pid, coords)
+            oracle.insert(pid, coords)
+        for _ in range(5):
+            t_tree, t_oracle = tree.new_tick(), oracle.new_tick()
+            for _ in range(30):
+                center = (rng.uniform(0, 10), rng.uniform(0, 10))
+                got = {p for p, _ in tree.ball_unvisited(center, 1.5, t_tree)}
+                want = {
+                    p for p, _ in oracle.ball_unvisited(center, 1.5, t_oracle)
+                }
+                assert got == want

@@ -1,0 +1,98 @@
+"""Integration: DISC vs DBSCAN on every dataset simulator, plus events flow.
+
+These runs use each simulator's registry thresholds on small windows, so the
+exactness contract is exercised on realistic geometry (road grids, fault
+arcs, trajectory tangles) rather than only on synthetic blobs.
+"""
+
+import pytest
+
+from repro.baselines.dbscan import SlidingDBSCAN
+from repro.common.config import WindowSpec
+from repro.core.disc import DISC
+from repro.core.events import EvolutionKind
+from repro.datasets.maze import maze_stream
+from repro.datasets.registry import DATASETS
+from repro.metrics.ari import adjusted_rand_index
+from repro.metrics.compare import assert_equivalent
+from repro.window.sliding import materialize_slides
+
+
+@pytest.mark.parametrize("key", ["dtg", "geolife", "covid", "iris", "maze"])
+def test_disc_equals_dbscan_on_simulator(key):
+    info = DATASETS[key]
+    spec = WindowSpec(window=300, stride=60)
+    points = info.load(600, seed=3)
+    disc = DISC(info.eps, info.tau)
+    reference = SlidingDBSCAN(info.eps, info.tau)
+    window = []
+    for delta_in, delta_out in materialize_slides(points, spec):
+        disc.advance(delta_in, delta_out)
+        reference.advance(delta_in, delta_out)
+        out_ids = {p.pid for p in delta_out}
+        window = [p for p in window if p.pid not in out_ids] + list(delta_in)
+        coords = {p.pid: p.coords for p in window}
+        assert_equivalent(
+            disc.snapshot(), reference.snapshot(), coords, disc.params
+        )
+
+
+def test_maze_quality_is_high():
+    points, truth = maze_stream(1500, seed=1)
+    info = DATASETS["maze"]
+    disc = DISC(info.eps, info.tau)
+    disc.advance(points, ())
+    pids = [p.pid for p in points]
+    ari = adjusted_rand_index(
+        [truth[p] for p in pids], disc.snapshot().label_array(pids)
+    )
+    assert ari > 0.85
+
+
+def test_evolution_events_flow_on_drifting_data():
+    from repro.datasets.synthetic import drifting_blob_stream
+
+    spec = WindowSpec(window=200, stride=40)
+    points = drifting_blob_stream(800, seed=2, drift=0.02)
+    disc = DISC(0.7, 4)
+    kinds = set()
+    for delta_in, delta_out in materialize_slides(points, spec):
+        summary = disc.advance(delta_in, delta_out)
+        kinds |= {event.kind for event in summary.events}
+    # A drifting stream must exhibit births and growth at minimum.
+    assert EvolutionKind.EMERGE in kinds
+    assert EvolutionKind.EXPAND in kinds or EvolutionKind.MERGE in kinds
+
+
+def test_incdbscan_matches_disc_on_dtg():
+    from repro.baselines.incdbscan import IncrementalDBSCAN
+
+    info = DATASETS["dtg"]
+    spec = WindowSpec(window=250, stride=50)
+    points = info.load(500, seed=9)
+    disc = DISC(info.eps, info.tau)
+    inc = IncrementalDBSCAN(info.eps, info.tau)
+    window = []
+    for delta_in, delta_out in materialize_slides(points, spec):
+        disc.advance(delta_in, delta_out)
+        inc.advance(delta_in, delta_out)
+        out_ids = {p.pid for p in delta_out}
+        window = [p for p in window if p.pid not in out_ids] + list(delta_in)
+        coords = {p.pid: p.coords for p in window}
+        assert_equivalent(disc.snapshot(), inc.snapshot(), coords, disc.params)
+
+
+def test_search_counts_ordering_on_geolife():
+    """Fig. 7's ordering (DISC <= IncDBSCAN < DBSCAN) on a small workload."""
+    from repro.baselines.incdbscan import IncrementalDBSCAN
+    from repro.bench.harness import measure_method
+
+    info = DATASETS["geolife"]
+    spec = WindowSpec(window=300, stride=30)
+    points = info.load(800, seed=4)
+    disc = measure_method(DISC(info.eps, info.tau), points, spec, n_measured=5)
+    inc = measure_method(
+        IncrementalDBSCAN(info.eps, info.tau), points, spec, n_measured=5
+    )
+    assert disc["range_searches"] <= inc["range_searches"]
+    assert disc["range_searches"] < spec.window  # DBSCAN's budget

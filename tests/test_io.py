@@ -1,0 +1,113 @@
+"""Unit tests for stream file I/O."""
+
+import pytest
+
+from repro.common.points import StreamPoint
+from repro.common.snapshot import Category, Clustering
+from repro.datasets.io import (
+    StreamFormatError,
+    read_stream,
+    write_labels,
+    write_stream,
+)
+
+
+def sample_points():
+    return [
+        StreamPoint(0, (1.0, 2.0), 0.0),
+        StreamPoint(1, (3.5, -4.25), 1.0),
+        StreamPoint(7, (0.0, 0.0), 5.5),
+    ]
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("ext", ["csv", "jsonl"])
+    def test_roundtrip(self, tmp_path, ext):
+        path = str(tmp_path / f"stream.{ext}")
+        points = sample_points()
+        assert write_stream(path, points) == 3
+        assert list(read_stream(path)) == points
+
+    def test_csv_header_recognised(self, tmp_path):
+        path = tmp_path / "s.csv"
+        path.write_text("pid,time,x0,x1\n5,2.5,1.0,2.0\n")
+        [point] = read_stream(str(path))
+        assert point == StreamPoint(5, (1.0, 2.0), 2.5)
+
+    def test_csv_header_column_order_free(self, tmp_path):
+        path = tmp_path / "s.csv"
+        path.write_text("x,pid,y,time\n1.0,5,2.0,2.5\n")
+        [point] = read_stream(str(path))
+        assert point.pid == 5
+        assert point.coords == (1.0, 2.0)
+        assert point.time == 2.5
+
+    def test_headerless_csv(self, tmp_path):
+        path = tmp_path / "s.csv"
+        path.write_text("1.0,2.0\n3.0,4.0\n")
+        points = list(read_stream(str(path)))
+        assert [p.pid for p in points] == [0, 1]
+        assert points[1].coords == (3.0, 4.0)
+
+    def test_jsonl_defaults(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text('{"coords": [1.5, 2.5]}\n\n{"coords": [0, 0], "pid": 9}\n')
+        points = list(read_stream(str(path)))
+        assert points[0].pid == 0
+        assert points[1].pid == 9
+
+    def test_empty_csv(self, tmp_path):
+        path = tmp_path / "s.csv"
+        path.write_text("")
+        assert list(read_stream(str(path))) == []
+
+
+class TestErrors:
+    def test_unknown_extension(self, tmp_path):
+        path = tmp_path / "s.parquet"
+        path.write_text("x")
+        with pytest.raises(StreamFormatError):
+            list(read_stream(str(path)))
+
+    def test_explicit_format_overrides_extension(self, tmp_path):
+        path = tmp_path / "weird.dat"
+        path.write_text("1.0,2.0\n")
+        [point] = read_stream(str(path), fmt="csv")
+        assert point.coords == (1.0, 2.0)
+
+    def test_bad_csv_row(self, tmp_path):
+        path = tmp_path / "s.csv"
+        path.write_text("pid,x0\n1,not-a-number\n")
+        with pytest.raises(StreamFormatError):
+            list(read_stream(str(path)))
+
+    def test_bad_jsonl(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text("{nope}\n")
+        with pytest.raises(StreamFormatError):
+            list(read_stream(str(path)))
+
+    def test_jsonl_missing_coords(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text('{"pid": 1}\n')
+        with pytest.raises(StreamFormatError):
+            list(read_stream(str(path)))
+
+    def test_bad_write_format(self, tmp_path):
+        with pytest.raises(StreamFormatError):
+            write_stream(str(tmp_path / "x.csv"), sample_points(), fmt="xml")
+
+
+class TestLabelOutput:
+    def test_write_labels(self, tmp_path):
+        clustering = Clustering(
+            {1: 10, 2: 10},
+            {1: Category.CORE, 2: Category.BORDER, 3: Category.NOISE},
+        )
+        path = str(tmp_path / "labels.csv")
+        assert write_labels(path, clustering) == 3
+        with open(path) as handle:
+            lines = handle.read().splitlines()
+        assert lines[0] == "pid,label,category"
+        assert "1,10,core" in lines
+        assert "3,-1,noise" in lines

@@ -1,0 +1,92 @@
+"""Unit tests for k-distance-graph parameter estimation."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.points import StreamPoint, make_points
+from repro.metrics.kdist import k_distances, suggest_eps, suggest_tau
+
+
+def grid_points(n_side=8, gap=1.0):
+    coords = [
+        (x * gap, y * gap) for x in range(n_side) for y in range(n_side)
+    ]
+    return make_points(coords)
+
+
+def blob_and_noise(seed=0):
+    import random
+
+    rng = random.Random(seed)
+    coords = [(rng.gauss(0, 0.3), rng.gauss(0, 0.3)) for _ in range(80)]
+    coords += [(rng.uniform(-10, 10), rng.uniform(-10, 10)) for _ in range(20)]
+    return make_points(coords)
+
+
+class TestKDistances:
+    def test_sorted_descending(self):
+        profile = k_distances(blob_and_noise(), 4)
+        assert profile == sorted(profile, reverse=True)
+
+    def test_length(self):
+        points = grid_points(5)
+        assert len(k_distances(points, 3)) == len(points)
+
+    def test_uniform_grid_value(self):
+        # On a unit grid, the 4th nearest neighbour of an interior point is
+        # at distance 1 (the four axis neighbours).
+        profile = k_distances(grid_points(8), 4)
+        assert min(profile) == pytest.approx(1.0)
+
+    def test_k_validation(self):
+        with pytest.raises(ConfigurationError):
+            k_distances(grid_points(3), 0)
+
+    def test_too_few_points(self):
+        with pytest.raises(ConfigurationError):
+            k_distances(make_points([(0.0, 0.0)]), 1)
+
+
+class TestSuggestEps:
+    def test_knee_separates_blob_from_noise(self):
+        points = blob_and_noise()
+        eps = suggest_eps(points, 4)
+        # The knee should land between the blob scale (~0.3) and the noise
+        # scale (several units).
+        assert 0.1 < eps < 5.0
+
+    def test_degenerate_flat_profile(self):
+        points = grid_points(6)
+        eps = suggest_eps(points, 4)
+        assert eps > 0
+
+    def test_suggested_eps_yields_clusters(self):
+        from repro.core.disc import DISC
+
+        points = blob_and_noise()
+        eps = suggest_eps(points, 4)
+        disc = DISC(eps=eps, tau=4)
+        disc.advance(points, ())
+        assert disc.snapshot().num_clusters >= 1
+
+
+class TestSuggestTau:
+    def test_matches_average_density(self):
+        points = grid_points(8)
+        # eps = 1.1 covers the 4 axis neighbours + self for interior points.
+        tau = suggest_tau(points, 1.1)
+        assert 3 <= tau <= 5
+
+    def test_sampling_approximates_full(self):
+        points = blob_and_noise()
+        full = suggest_tau(points, 0.5)
+        sampled = suggest_tau(points, 0.5, sample_every=3)
+        assert abs(full - sampled) <= max(2, full // 3)
+
+    def test_eps_validation(self):
+        with pytest.raises(ConfigurationError):
+            suggest_tau(grid_points(3), 0.0)
+
+    def test_at_least_one(self):
+        far = make_points([(0.0, 0.0), (100.0, 100.0)])
+        assert suggest_tau(far, 0.5) >= 1

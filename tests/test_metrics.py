@@ -1,0 +1,201 @@
+"""Unit tests for ARI and the equivalence checker."""
+
+import pytest
+
+from repro.common.config import ClusteringParams
+from repro.common.snapshot import Category, Clustering
+from repro.metrics.ari import adjusted_rand_index
+from repro.metrics.compare import EquivalenceError, assert_equivalent, equivalent
+
+
+class TestARI:
+    def test_identical_partitions(self):
+        assert adjusted_rand_index([0, 0, 1, 1], [0, 0, 1, 1]) == 1.0
+
+    def test_renamed_partitions(self):
+        assert adjusted_rand_index([0, 0, 1, 1], [5, 5, 2, 2]) == 1.0
+
+    def test_hand_computed_value(self):
+        # Classic example: ARI([0,0,1,1], [0,1,1,1]).
+        # Contingency: rows {0:(1,1)}, {1:(0,2)}; sum_cells = C(2,2)=1;
+        # rows C(2,2)+C(2,2)=2; cols C(1,2)=0 + C(3,2)=3 -> 3.
+        # expected = 2*3/C(4,2)=1; max=(2+3)/2=2.5 -> (1-1)/(2.5-1)=0.
+        assert adjusted_rand_index([0, 0, 1, 1], [0, 1, 1, 1]) == pytest.approx(
+            0.0
+        )
+
+    def test_known_positive_value(self):
+        truth = [0, 0, 0, 1, 1, 1]
+        pred = [0, 0, 1, 1, 1, 1]
+        value = adjusted_rand_index(truth, pred)
+        assert 0.0 < value < 1.0
+        # By hand: sum_cells=4, rows=6, cols=7, pairs=15 ->
+        # (4 - 2.8) / (6.5 - 2.8) = 1.2 / 3.7.
+        assert value == pytest.approx(1.2 / 3.7, abs=1e-9)
+
+    def test_symmetric(self):
+        a = [0, 0, 1, 1, 2, 2, 2]
+        b = [0, 1, 1, 2, 2, 0, 0]
+        assert adjusted_rand_index(a, b) == pytest.approx(
+            adjusted_rand_index(b, a)
+        )
+
+    def test_worse_than_random_is_negative(self):
+        truth = [0, 1, 0, 1]
+        pred = [0, 0, 1, 1]
+        assert adjusted_rand_index(truth, pred) < 0.5
+
+    def test_empty(self):
+        assert adjusted_rand_index([], []) == 1.0
+
+    def test_single_point(self):
+        assert adjusted_rand_index([3], [9]) == 1.0
+
+    def test_all_singletons_match(self):
+        assert adjusted_rand_index([0, 1, 2], [5, 6, 7]) == 1.0
+
+    def test_degenerate_mismatch(self):
+        # One big cluster vs all singletons: conventional score 0.
+        assert adjusted_rand_index([0, 0, 0], [0, 1, 2]) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            adjusted_rand_index([0, 1], [0])
+
+
+def make_clustering(assignment):
+    """assignment: pid -> (category, cid or None)."""
+    labels = {}
+    categories = {}
+    for pid, (category, cid) in assignment.items():
+        categories[pid] = category
+        if cid is not None:
+            labels[pid] = cid
+    return Clustering(labels, categories)
+
+
+PARAMS = ClusteringParams(eps=1.0, tau=2)
+POINTS = {
+    1: (0.0, 0.0),
+    2: (0.5, 0.0),
+    3: (10.0, 0.0),
+    4: (10.5, 0.0),
+    5: (50.0, 50.0),
+}
+
+
+def two_cluster_snapshot(cid_a=7, cid_b=8):
+    return make_clustering(
+        {
+            1: (Category.CORE, cid_a),
+            2: (Category.CORE, cid_a),
+            3: (Category.CORE, cid_b),
+            4: (Category.CORE, cid_b),
+            5: (Category.NOISE, None),
+        }
+    )
+
+
+class TestEquivalence:
+    def test_identical(self):
+        assert_equivalent(
+            two_cluster_snapshot(), two_cluster_snapshot(), POINTS, PARAMS
+        )
+
+    def test_renamed_cids_ok(self):
+        assert_equivalent(
+            two_cluster_snapshot(), two_cluster_snapshot(100, 200), POINTS, PARAMS
+        )
+
+    def test_category_mismatch_detected(self):
+        other = make_clustering(
+            {
+                1: (Category.CORE, 7),
+                2: (Category.CORE, 7),
+                3: (Category.CORE, 8),
+                4: (Category.CORE, 8),
+                5: (Category.BORDER, 8),
+            }
+        )
+        with pytest.raises(EquivalenceError, match="category mismatch"):
+            assert_equivalent(two_cluster_snapshot(), other, POINTS, PARAMS)
+
+    def test_point_set_mismatch_detected(self):
+        other = make_clustering(
+            {1: (Category.CORE, 7), 2: (Category.CORE, 7)}
+        )
+        with pytest.raises(EquivalenceError, match="point sets differ"):
+            assert_equivalent(two_cluster_snapshot(), other, POINTS, PARAMS)
+
+    def test_merged_clusters_detected(self):
+        merged = make_clustering(
+            {
+                1: (Category.CORE, 7),
+                2: (Category.CORE, 7),
+                3: (Category.CORE, 7),
+                4: (Category.CORE, 7),
+                5: (Category.NOISE, None),
+            }
+        )
+        with pytest.raises(EquivalenceError):
+            assert_equivalent(two_cluster_snapshot(), merged, POINTS, PARAMS)
+
+    def test_border_must_be_adjacent_to_its_cluster(self):
+        points = dict(POINTS)
+        points[6] = (1.0, 0.0)  # adjacent to cluster A only
+        good = make_clustering(
+            {
+                1: (Category.CORE, 7),
+                2: (Category.CORE, 7),
+                3: (Category.CORE, 8),
+                4: (Category.CORE, 8),
+                5: (Category.NOISE, None),
+                6: (Category.BORDER, 7),
+            }
+        )
+        bad = make_clustering(
+            {
+                1: (Category.CORE, 7),
+                2: (Category.CORE, 7),
+                3: (Category.CORE, 8),
+                4: (Category.CORE, 8),
+                5: (Category.NOISE, None),
+                6: (Category.BORDER, 8),  # not adjacent to cluster B!
+            }
+        )
+        assert_equivalent(good, good, points, PARAMS)
+        with pytest.raises(EquivalenceError):
+            assert_equivalent(bad, good, points, PARAMS)
+        with pytest.raises(EquivalenceError):
+            assert_equivalent(good, bad, points, PARAMS)
+
+    def test_ambiguous_border_either_way_ok(self):
+        # Border 6 sits within eps of cores in both clusters.
+        points = {
+            1: (0.0, 0.0),
+            2: (0.5, 0.0),
+            3: (1.8, 0.0),
+            4: (2.3, 0.0),
+            6: (1.15, 0.0),
+        }
+        base = {
+            1: (Category.CORE, 7),
+            2: (Category.CORE, 7),
+            3: (Category.CORE, 8),
+            4: (Category.CORE, 8),
+        }
+        params = ClusteringParams(eps=0.7, tau=2)
+        to_a = make_clustering({**base, 6: (Category.BORDER, 7)})
+        to_b = make_clustering({**base, 6: (Category.BORDER, 8)})
+        assert equivalent(to_a, to_b, points, params)
+        assert equivalent(to_b, to_a, points, params)
+
+    def test_boolean_form(self):
+        assert equivalent(
+            two_cluster_snapshot(), two_cluster_snapshot(1, 2), POINTS, PARAMS
+        )
+        merged = make_clustering(
+            {pid: (Category.CORE, 7) for pid in (1, 2, 3, 4)}
+            | {5: (Category.NOISE, None)}
+        )
+        assert not equivalent(two_cluster_snapshot(), merged, POINTS, PARAMS)

@@ -1,0 +1,115 @@
+"""Unit tests for the anomaly monitor and the netflow simulator."""
+
+import pytest
+
+from repro.common.points import StreamPoint
+from repro.core.disc import DISC
+from repro.datasets.netflow import netflow_stream
+from repro.monitoring import AnomalyMonitor
+
+
+def sp(pid, x, y=0.0):
+    return StreamPoint(pid, (float(x), float(y)), float(pid))
+
+
+def blob(start_id, cx, cy=0.0, n=6, gap=0.3):
+    return [
+        sp(start_id + i, cx + gap * (i % 3), cy + gap * (i // 3))
+        for i in range(n)
+    ]
+
+
+class TestAnomalyMonitor:
+    def test_confirm_strides_validation(self):
+        with pytest.raises(ValueError):
+            AnomalyMonitor(DISC(1.0, 3), confirm_strides=0)
+
+    def test_noise_confirmed_after_debounce(self):
+        monitor = AnomalyMonitor(DISC(1.0, 3), confirm_strides=2)
+        lonely = sp(99, 50.0, 50.0)
+        report = monitor.advance(blob(0, 0.0) + [lonely], ())
+        assert report.confirmed == []  # streak 1 of 2
+        assert monitor.suspicion_of(99) == 1
+        report = monitor.advance((), ())
+        assert report.confirmed == [99]
+        assert 99 in monitor.active_anomalies
+
+    def test_confirm_strides_one_is_immediate(self):
+        monitor = AnomalyMonitor(DISC(1.0, 3), confirm_strides=1)
+        report = monitor.advance(blob(0, 0.0) + [sp(99, 50.0, 50.0)], ())
+        assert report.confirmed == [99]
+
+    def test_cluster_members_never_reported(self):
+        monitor = AnomalyMonitor(DISC(1.0, 3), confirm_strides=1)
+        report = monitor.advance(blob(0, 0.0), ())
+        assert report.confirmed == []
+        assert monitor.active_anomalies == frozenset()
+
+    def test_retraction_when_neighbourhood_arrives(self):
+        monitor = AnomalyMonitor(DISC(1.0, 3), confirm_strides=1)
+        report = monitor.advance(blob(0, 0.0) + [sp(99, 50.0, 50.0)], ())
+        assert report.confirmed == [99]
+        # Surround the anomaly with a new dense blob: it becomes a cluster
+        # member and the report is retracted.
+        report = monitor.advance(blob(100, 50.0, 50.0), ())
+        assert report.retracted == [99]
+        assert 99 not in monitor.active_anomalies
+
+    def test_departed_points_are_forgotten(self):
+        monitor = AnomalyMonitor(DISC(1.0, 3), confirm_strides=1)
+        lonely = sp(99, 50.0, 50.0)
+        monitor.advance(blob(0, 0.0) + [lonely], ())
+        assert 99 in monitor.active_anomalies
+        monitor.advance((), [lonely])
+        assert 99 not in monitor.active_anomalies
+        assert monitor.suspicion_of(99) == 0
+
+    def test_no_rereport_while_streak_continues(self):
+        monitor = AnomalyMonitor(DISC(1.0, 3), confirm_strides=1)
+        first = monitor.advance(blob(0, 0.0) + [sp(99, 50.0, 50.0)], ())
+        assert first.confirmed == [99]
+        second = monitor.advance((), ())
+        assert second.confirmed == []
+
+    def test_stride_counter(self):
+        monitor = AnomalyMonitor(DISC(1.0, 3))
+        assert monitor.advance([], ()).stride == 0
+        assert monitor.advance([], ()).stride == 1
+
+
+class TestNetflowSim:
+    def test_determinism(self):
+        assert netflow_stream(200, seed=1) == netflow_stream(200, seed=1)
+
+    def test_anomaly_rate(self):
+        points, anomalies = netflow_stream(2000, seed=0, anomaly_rate=0.05)
+        assert 0.02 < len(anomalies) / len(points) < 0.09
+
+    def test_anomalies_far_from_profiles(self):
+        points, anomalies = netflow_stream(1000, seed=2)
+        coords = {p.pid: p.coords for p in points}
+        normal = [coords[p.pid] for p in points if p.pid not in anomalies]
+        for pid in list(anomalies)[:20]:
+            nearest = min(
+                sum((a - b) ** 2 for a, b in zip(coords[pid], other))
+                for other in normal
+            )
+            assert nearest > 0.5
+
+    def test_end_to_end_detection_quality(self):
+        points, truth = netflow_stream(2500, seed=3)
+        from repro.common.config import WindowSpec
+        from repro.window.sliding import SlidingWindow
+
+        monitor = AnomalyMonitor(DISC(eps=1.0, tau=6), confirm_strides=2)
+        reported: set[int] = set()
+        spec = WindowSpec(window=1000, stride=100)
+        for delta_in, delta_out in SlidingWindow(spec).slides(points):
+            report = monitor.advance(delta_in, delta_out)
+            reported |= set(report.confirmed)
+            reported -= set(report.retracted)
+        true_positives = len(reported & truth)
+        precision = true_positives / max(1, len(reported))
+        recall = true_positives / max(1, len(truth))
+        assert precision > 0.85
+        assert recall > 0.8

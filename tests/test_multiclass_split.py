@@ -1,0 +1,113 @@
+"""Regression: several retro classes carving ONE old cluster in one stride.
+
+The paper's Lemma 2 / Theorem 1 reason about the fragments reachable from a
+*single* retro-reachability class. When two far-apart deletions cut the same
+cluster in the same stride, each class's minimal bonding cores see only the
+fragments adjacent to *that* class — so the naive "the surviving search keeps
+the old cluster id" rule can hand the same old id to two fragments that are
+no longer connected (found by hypothesis; fixed with the per-stride kept-id
+registry in ``repro.core.cluster``).
+
+The minimal instance: a chain A1-A2-c1-B1-B2-c2-C1-C2 whose two cut points
+c1, c2 are deleted together, fragmenting one cluster into three.
+"""
+
+import itertools
+
+import pytest
+
+from repro.baselines.dbscan import SlidingDBSCAN
+from repro.common.points import StreamPoint
+from repro.core.disc import DISC
+from repro.core.events import EvolutionKind
+from repro.metrics.compare import assert_equivalent
+
+EPS = 1.0
+TAU = 2
+GAP = 0.9
+
+NAMES = ["A1", "A2", "c1", "B1", "B2", "c2", "C1", "C2"]
+POSITIONS = {name: (i * GAP, 0.0) for i, name in enumerate(NAMES)}
+PIDS = {name: i for i, name in enumerate(NAMES)}
+
+
+def point(name):
+    return StreamPoint(PIDS[name], POSITIONS[name], 0.0)
+
+
+def fragments_of(labels):
+    groups = {}
+    for name in NAMES:
+        if name in ("c1", "c2"):
+            continue
+        groups.setdefault(labels[PIDS[name]], set()).add(name)
+    return sorted(map(frozenset, groups.values()), key=sorted)
+
+
+class TestTwoCutsOneCluster:
+    @pytest.mark.parametrize(
+        "multi_starter,epoch",
+        list(itertools.product([True, False], repeat=2)),
+    )
+    def test_three_fragments_get_three_ids(self, multi_starter, epoch):
+        disc = DISC(EPS, TAU, multi_starter=multi_starter, epoch_probing=epoch)
+        disc.advance([point(n) for n in NAMES], ())
+        assert disc.snapshot().num_clusters == 1
+        summary = disc.advance((), [point("c1"), point("c2")])
+        assert summary.count(EvolutionKind.SPLIT) == 2
+        labels = disc.labels()
+        assert fragments_of(labels) == [
+            frozenset({"A1", "A2"}),
+            frozenset({"B1", "B2"}),
+            frozenset({"C1", "C2"}),
+        ]
+        # Three fragments, three DISTINCT ids — the regression.
+        ids = {labels[PIDS[n]] for n in NAMES if n not in ("c1", "c2")}
+        assert len(ids) == 3
+        assert disc.snapshot().num_clusters == 3
+
+    def test_exact_vs_dbscan(self):
+        disc = DISC(EPS, TAU)
+        disc.advance([point(n) for n in NAMES], ())
+        disc.advance((), [point("c1"), point("c2")])
+        reference = SlidingDBSCAN(EPS, TAU)
+        remaining = [point(n) for n in NAMES if n not in ("c1", "c2")]
+        reference.advance(remaining, ())
+        coords = {p.pid: p.coords for p in remaining}
+        assert_equivalent(
+            disc.snapshot(), reference.snapshot(), coords, disc.params
+        )
+
+    def test_at_most_one_fragment_keeps_the_old_id(self):
+        disc = DISC(EPS, TAU)
+        disc.advance([point(n) for n in NAMES], ())
+        old_cid = disc.labels()[PIDS["A1"]]
+        disc.advance((), [point("c1"), point("c2")])
+        labels = disc.labels()
+        keepers = {
+            frozenset(members)
+            for cid, members in _group(labels).items()
+            if cid == old_cid
+        }
+        assert len(keepers) <= 1
+
+    def test_three_cuts_four_fragments(self):
+        # One more cut than the minimal instance: chain of 11, cut thrice.
+        names = [f"p{i}" for i in range(11)]
+        pts = [StreamPoint(i, (i * GAP, 0.0), 0.0) for i in range(11)]
+        cuts = [pts[2], pts[5], pts[8]]
+        disc = DISC(EPS, TAU)
+        disc.advance(pts, ())
+        assert disc.snapshot().num_clusters == 1
+        disc.advance((), cuts)
+        assert disc.snapshot().num_clusters == 4
+        labels = disc.labels()
+        assert len(set(labels.values())) == 4
+        _ = names
+
+
+def _group(labels):
+    groups = {}
+    for pid, cid in labels.items():
+        groups.setdefault(cid, []).append(pid)
+    return groups

@@ -1,0 +1,101 @@
+"""Unit tests for cluster lineage tracking."""
+
+from repro.common.points import StreamPoint
+from repro.core.disc import DISC
+from repro.core.events import EvolutionKind
+from repro.core.tracker import ClusterTracker
+
+
+def sp(pid, x, y=0.0):
+    return StreamPoint(pid, (float(x), float(y)), float(pid))
+
+
+def chain(start_id, x0, n, gap=0.4):
+    return [sp(start_id + i, x0 + i * gap) for i in range(n)]
+
+
+def observe(tracker, disc, delta_in, delta_out, stride):
+    summary = disc.advance(delta_in, delta_out)
+    tracker.observe(summary, stride)
+    tracker.close_missing(set(disc.snapshot().core_clusters()), stride)
+    return summary
+
+
+class TestLineages:
+    def test_birth(self):
+        disc = DISC(0.5, 3)
+        tracker = ClusterTracker()
+        observe(tracker, disc, chain(0, 0.0, 5), (), stride=0)
+        assert len(tracker) == 1
+        lineage = tracker.alive()[0]
+        assert lineage.born_at == 0
+        assert (0, EvolutionKind.EMERGE) in lineage.events
+
+    def test_death_by_dissipation(self):
+        disc = DISC(0.5, 3)
+        tracker = ClusterTracker()
+        points = chain(0, 0.0, 5)
+        observe(tracker, disc, points, (), stride=0)
+        observe(tracker, disc, (), points, stride=1)
+        assert tracker.alive() == []
+        lineage = tracker.all_lineages()[0]
+        assert lineage.died_at == 1
+
+    def test_split_creates_children(self):
+        disc = DISC(0.5, 3)
+        tracker = ClusterTracker()
+        bridge = chain(200, 1.8, 3, gap=0.45)
+        window = chain(0, 0.0, 5) + chain(100, 3.0, 5) + bridge
+        observe(tracker, disc, window, (), stride=0)
+        observe(tracker, disc, (), bridge, stride=1)
+        split_parents = [
+            lin for lin in tracker.all_lineages() if lin.children
+        ]
+        assert split_parents
+        parent = split_parents[0]
+        child = tracker.lineage_of(parent.children[0])
+        assert parent.cluster_id in child.parents
+        assert child.born_at == 1
+
+    def test_merge_records_parents(self):
+        disc = DISC(0.5, 3)
+        tracker = ClusterTracker()
+        left = chain(0, 0.0, 5)
+        right = chain(100, 3.0, 5)
+        observe(tracker, disc, left + right, (), stride=0)
+        assert len(tracker.alive()) == 2
+        observe(tracker, disc, chain(200, 1.8, 3, gap=0.45), (), stride=1)
+        alive = tracker.alive()
+        assert len(alive) == 1
+        dead = [lin for lin in tracker.all_lineages() if not lin.alive]
+        assert dead
+        assert dead[0].died_at == 1
+
+    def test_expand_recorded_in_events(self):
+        disc = DISC(0.5, 3)
+        tracker = ClusterTracker()
+        observe(tracker, disc, chain(0, 0.0, 5), (), stride=0)
+        observe(tracker, disc, chain(100, 2.0, 3), (), stride=1)
+        lineage = tracker.alive()[0]
+        assert (1, EvolutionKind.EXPAND) in lineage.events
+
+    def test_long_run_consistency(self):
+        from tests.conftest import clustered_stream
+        from repro.window.sliding import materialize_slides
+        from repro.common.config import WindowSpec
+
+        disc = DISC(0.7, 4)
+        tracker = ClusterTracker()
+        points = clustered_stream(17, 400)
+        spec = WindowSpec(window=120, stride=40)
+        for stride, (delta_in, delta_out) in enumerate(
+            materialize_slides(points, spec)
+        ):
+            observe(tracker, disc, delta_in, delta_out, stride)
+            # Invariant: lineages alive per tracker == live clusters that
+            # the tracker has seen (every live cluster id must be tracked
+            # and alive).
+            live = set(disc.snapshot().core_clusters())
+            for cid in live:
+                lineage = tracker.lineage_of(cid)
+                assert lineage.alive

@@ -1,0 +1,145 @@
+"""Unit tests for count- and time-based sliding windows and the driver."""
+
+import pytest
+
+from repro.common.config import WindowSpec
+from repro.common.errors import StreamOrderError
+from repro.common.points import StreamPoint, make_points
+from repro.window.driver import drive, replay
+from repro.window.sliding import SlidingWindow, materialize_slides
+
+
+def seq_points(n, start=0):
+    return make_points([(float(i), 0.0) for i in range(n)], start_id=start)
+
+
+class TestCountBased:
+    def test_slide_sizes(self):
+        spec = WindowSpec(window=10, stride=5)
+        slides = materialize_slides(seq_points(30), spec)
+        assert len(slides) == 6
+        assert all(len(delta_in) == 5 for delta_in, _ in slides)
+
+    def test_window_fills_before_expiring(self):
+        spec = WindowSpec(window=10, stride=5)
+        slides = materialize_slides(seq_points(30), spec)
+        outs = [len(delta_out) for _, delta_out in slides]
+        assert outs == [0, 0, 5, 5, 5, 5]
+
+    def test_fifo_expiry_order(self):
+        spec = WindowSpec(window=10, stride=5)
+        slides = materialize_slides(seq_points(20), spec)
+        assert [sp.pid for sp in slides[2][1]] == [0, 1, 2, 3, 4]
+        assert [sp.pid for sp in slides[3][1]] == [5, 6, 7, 8, 9]
+
+    def test_window_size_invariant(self):
+        spec = WindowSpec(window=12, stride=5)
+        size = 0
+        for delta_in, delta_out in materialize_slides(seq_points(60), spec):
+            size += len(delta_in) - len(delta_out)
+            assert size <= spec.window
+        # Steady state keeps the window as full as the stride allows.
+        assert spec.window - spec.stride < size <= spec.window
+
+    def test_partial_final_stride(self):
+        spec = WindowSpec(window=10, stride=4)
+        slides = materialize_slides(seq_points(10), spec)
+        assert [len(d) for d, _ in slides] == [4, 4, 2]
+
+    def test_non_divisible_stride(self):
+        spec = WindowSpec(window=10, stride=3)
+        slides = materialize_slides(seq_points(30), spec)
+        # After every slide the window holds at most 10 points.
+        size = 0
+        for delta_in, delta_out in slides:
+            size += len(delta_in) - len(delta_out)
+            assert size <= 10
+
+    def test_stride_equals_window_is_tumbling(self):
+        spec = WindowSpec(window=5, stride=5)
+        slides = materialize_slides(seq_points(15), spec)
+        assert [len(o) for _, o in slides] == [0, 5, 5]
+
+
+class TestTimeBased:
+    def make_timed(self, times, start=0):
+        return [
+            StreamPoint(start + i, (float(i), 0.0), t) for i, t in enumerate(times)
+        ]
+
+    def test_groups_by_time(self):
+        spec = WindowSpec(window=10, stride=5)
+        points = self.make_timed([0, 1, 2, 6, 7, 11, 12])
+        slides = list(SlidingWindow(spec, time_based=True).slides(points))
+        assert [len(d) for d, _ in slides] == [3, 2, 2]
+
+    def test_expiry_by_duration(self):
+        spec = WindowSpec(window=10, stride=5)
+        points = self.make_timed([0, 1, 2, 6, 7, 11, 12, 16, 17])
+        slides = list(SlidingWindow(spec, time_based=True).slides(points))
+        # At boundary 15, points with time <= 5 have expired.
+        expired = [sp.pid for _, out in slides for sp in out]
+        assert 0 in expired and 1 in expired and 2 in expired
+
+    def test_empty_strides_emitted(self):
+        spec = WindowSpec(window=10, stride=5)
+        points = self.make_timed([0, 1, 17])
+        slides = list(SlidingWindow(spec, time_based=True).slides(points))
+        # Quiet periods still advance the window (empty delta_in slides).
+        assert any(len(d) == 0 for d, _ in slides)
+
+    def test_out_of_order_rejected(self):
+        spec = WindowSpec(window=10, stride=5)
+        points = self.make_timed([5, 3])
+        with pytest.raises(StreamOrderError):
+            list(SlidingWindow(spec, time_based=True).slides(points))
+
+
+class RecordingClusterer:
+    name = "recorder"
+
+    def __init__(self):
+        self.calls = []
+
+    def advance(self, delta_in, delta_out=()):
+        self.calls.append((len(delta_in), len(delta_out)))
+        return None
+
+
+class TestDriver:
+    def test_replay_measures_every_slide(self):
+        spec = WindowSpec(window=10, stride=5)
+        slides = materialize_slides(seq_points(30), spec)
+        clusterer = RecordingClusterer()
+        result = replay(clusterer, slides)
+        assert result.method == "recorder"
+        assert len(result.measurements) == 6
+        assert clusterer.calls[0] == (5, 0)
+        assert clusterer.calls[-1] == (5, 5)
+
+    def test_window_size_tracked(self):
+        spec = WindowSpec(window=10, stride=5)
+        result = drive(RecordingClusterer(), seq_points(30), spec)
+        assert [m.window_size for m in result.measurements] == [5, 10, 10, 10, 10, 10]
+
+    def test_max_strides(self):
+        spec = WindowSpec(window=10, stride=5)
+        result = drive(RecordingClusterer(), seq_points(50), spec, max_strides=3)
+        assert len(result.measurements) == 3
+
+    def test_steady_drops_warmup(self):
+        spec = WindowSpec(window=10, stride=5)
+        result = drive(RecordingClusterer(), seq_points(30), spec)
+        assert len(result.steady(warmup=2)) == 4
+        assert result.mean_elapsed(warmup=2) >= 0.0
+
+    def test_on_stride_observer(self):
+        spec = WindowSpec(window=10, stride=5)
+        seen = []
+        drive(
+            RecordingClusterer(),
+            seq_points(20),
+            spec,
+            on_stride=lambda m, c: seen.append(m.index),
+        )
+        assert seen == [0, 1, 2, 3]
