@@ -3,9 +3,9 @@
 Two design choices DESIGN.md calls out get their own measurements:
 
 1. **Index substrate.** The paper fixes an R-tree; DISC here runs on any
-   index with the shared interface. This bench compares DISC-on-R-tree,
-   DISC-on-grid (eps-tuned cell grid; epoch probing off since grids have no
-   epochs) and DISC-on-linear-scan, quantifying how much of the method
+   registered ``NeighborIndex`` backend. This bench iterates the registry
+   (``repro.index.registry``) — every backend gets epoch probing, natively
+   or through the ``EpochAdapter`` — quantifying how much of the method
    comparisons is index constants (the (S1) effect discussed in
    EXPERIMENTS.md).
 
@@ -21,15 +21,23 @@ from repro.bench.harness import measure_method
 from repro.bench.reporting import Table, write_result
 from repro.core.disc import DISC
 from repro.datasets.registry import DATASETS
-from repro.index.grid import GridIndex
-from repro.index.linear import LinearScanIndex
+from repro.index.registry import available_indexes
 from repro.index.rtree import RTree
+
+#: Display label per registry name (registry order drives the columns).
+_LABELS = {
+    "rtree": "R-tree",
+    "grid": "grid",
+    "vectorgrid": "vectorgrid",
+    "linear": "linear",
+}
 
 
 def run_index_ablation():
+    backends = available_indexes()
     table = Table(
         "Ablation: DISC per-stride latency by index substrate (5% stride)",
-        ["Dataset", "R-tree ms", "grid ms", "linear ms"],
+        ["Dataset"] + [f"{_LABELS.get(b, b)} ms" for b in backends],
     )
     shape = {}
     for key in ("dtg", "geolife"):
@@ -38,31 +46,14 @@ def run_index_ablation():
         spec = spec_for(window, 0.05)
         points = list(dataset_stream(key, stream_length(spec, 10)))
         row = {}
-        variants = (
-            ("R-tree", DISC(info.eps, info.tau)),
-            (
-                "grid",
-                DISC(
-                    info.eps,
-                    info.tau,
-                    index_factory=lambda e=info.eps, d=info.dim: GridIndex(e, d),
-                    epoch_probing=False,
-                ),
-            ),
-            (
-                "linear",
-                DISC(info.eps, info.tau, index_factory=LinearScanIndex),
-            ),
-        )
-        for name, method in variants:
+        for backend in backends:
+            method = DISC(info.eps, info.tau, index=backend)
             result = measure_method(method, points, spec, n_measured=8)
-            row[name] = result["mean_stride_s"] * 1000
+            row[_LABELS.get(backend, backend)] = result["mean_stride_s"] * 1000
         shape[key] = row
         table.add(
             info.name,
-            f"{row['R-tree']:.1f}",
-            f"{row['grid']:.1f}",
-            f"{row['linear']:.1f}",
+            *[f"{row[_LABELS.get(b, b)]:.1f}" for b in backends],
         )
     return table, shape
 
@@ -114,10 +105,14 @@ def test_ablation_index_substrate(benchmark):
     for key, row in shape.items():
         # In 2D the grid beats the R-tree at its tuned radius (the S1
         # constant-factor effect); in 3D its 125-cell stencil erodes the
-        # advantage, so the assertion only bounds the gap. Exact results are
-        # identical regardless (covered by the test suite).
-        assert row["grid"] < row["R-tree"] * 2.0, (
+        # advantage, and the EpochAdapter (grids have no native epochs) adds
+        # a constant per-probe cost, so the assertion only bounds the gap.
+        # Exact results are identical regardless (covered by the test suite).
+        assert row["grid"] < row["R-tree"] * 3.0, (
             f"{key}: grid substrate unexpectedly slow"
+        )
+        assert row["vectorgrid"] < row["R-tree"] * 3.0, (
+            f"{key}: vectorgrid substrate unexpectedly slow"
         )
         assert row["linear"] > row["R-tree"], (
             f"{key}: linear scan unexpectedly beat the R-tree"

@@ -35,7 +35,7 @@ def _sweep(points, spec, base_eps, tau, dim):
         disc_grid = DISC(
             eps,
             tau,
-            index_factory=lambda e=eps, d=dim: GridIndex(e, d),
+            index=GridIndex(eps, dim),
             epoch_probing=False,
         )
         grid_result = measure_method(disc_grid, points, spec, n_measured=6)

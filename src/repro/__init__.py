@@ -35,7 +35,17 @@ from repro.core import (
     Lineage,
     StrideSummary,
 )
-from repro.index import GridIndex, LinearScanIndex, RTree, VectorGridIndex
+from repro.index import (
+    EpochAdapter,
+    GridIndex,
+    LinearScanIndex,
+    NeighborIndex,
+    RTree,
+    VectorGridIndex,
+    available_indexes,
+    make_index,
+    register_index,
+)
 from repro.metrics import (
     adjusted_rand_index,
     assert_equivalent,
@@ -58,6 +68,7 @@ __all__ = [
     "ClusteringParams",
     "DBStream",
     "EDMStream",
+    "EpochAdapter",
     "EvolutionEvent",
     "EvolutionKind",
     "ExtraN",
@@ -65,6 +76,7 @@ __all__ = [
     "IncrementalDBSCAN",
     "Lineage",
     "LinearScanIndex",
+    "NeighborIndex",
     "RTree",
     "VectorGridIndex",
     "RhoDoubleApproxDBSCAN",
@@ -75,8 +87,11 @@ __all__ = [
     "WindowSpec",
     "adjusted_rand_index",
     "assert_equivalent",
+    "available_indexes",
     "cluster_static",
     "cluster_stream",
+    "make_index",
+    "register_index",
     "drive",
     "equivalent",
     "replay",

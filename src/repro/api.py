@@ -8,13 +8,14 @@ is the one-shot (no window) case.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator
+from collections.abc import Callable, Iterable, Iterator
 
 from repro.common.config import WindowSpec
 from repro.common.points import StreamPoint
 from repro.common.snapshot import Clustering
 from repro.core.disc import DISC
 from repro.core.events import StrideSummary
+from repro.index.base import NeighborIndex
 from repro.window.sliding import SlidingWindow
 
 
@@ -26,6 +27,7 @@ def cluster_stream(
     *,
     time_based: bool = False,
     clusterer=None,
+    index: str | NeighborIndex | Callable[[], NeighborIndex] | None = None,
 ) -> Iterator[tuple[Clustering, StrideSummary]]:
     """Cluster a stream under a sliding window, yielding per-stride results.
 
@@ -35,6 +37,10 @@ def cluster_stream(
         eps, tau: DBSCAN thresholds (ignored when ``clusterer`` is given).
         time_based: interpret the spec as durations over point timestamps.
         clusterer: optional pre-built clusterer to drive instead of DISC.
+        index: spatial-index backend for the default DISC clusterer — a
+            registry name (see ``repro.index.registry``), a ready
+            :class:`~repro.index.base.NeighborIndex`, or a factory. Ignored
+            when ``clusterer`` is given.
 
     Yields:
         ``(snapshot, summary)`` after every window advance.
@@ -52,7 +58,7 @@ def cluster_stream(
         >>> results[-1][0].num_clusters
         2
     """
-    method = clusterer if clusterer is not None else DISC(eps, tau)
+    method = clusterer if clusterer is not None else DISC(eps, tau, index=index)
     for delta_in, delta_out in SlidingWindow(spec, time_based).slides(points):
         summary = method.advance(delta_in, delta_out)
         if summary is None:
@@ -63,9 +69,19 @@ def cluster_stream(
 
 
 def cluster_static(
-    points: Iterable[StreamPoint], eps: float, tau: int
+    points: Iterable[StreamPoint],
+    eps: float,
+    tau: int,
+    *,
+    index: str | NeighborIndex | Callable[[], NeighborIndex] | None = None,
 ) -> Clustering:
     """One-shot DBSCAN clustering of a finite point set (no window).
+
+    Args:
+        points: the finite point set.
+        eps, tau: DBSCAN thresholds.
+        index: spatial-index backend (name, instance, or factory); defaults
+            to the R-tree.
 
     Example:
         >>> from repro.api import cluster_static
@@ -76,6 +92,6 @@ def cluster_static(
         >>> snap.num_clusters
         2
     """
-    method = DISC(eps, tau)
+    method = DISC(eps, tau, index=index)
     method.advance(list(points), ())
     return method.snapshot()

@@ -16,7 +16,8 @@ from repro.common.errors import StreamOrderError
 from repro.common.points import StreamPoint
 from repro.common.snapshot import Category, Clustering
 from repro.core.events import StrideSummary
-from repro.index.rtree import RTree
+from repro.index.base import NeighborIndex
+from repro.index.registry import resolve_index
 
 Coords = tuple[float, ...]
 
@@ -83,6 +84,13 @@ class SlidingDBSCAN:
     The index is maintained incrementally across strides (matching the
     paper's setup, where index maintenance is not what distinguishes the
     methods), but every :meth:`advance` runs a full reclustering pass.
+
+    Args:
+        eps, tau: DBSCAN thresholds.
+        index: injected spatial substrate — a registry name, a ready
+            :class:`~repro.index.base.NeighborIndex`, or a factory; defaults
+            to the R-tree.
+        index_factory: deprecated alias for ``index``.
     """
 
     name = "DBSCAN"
@@ -92,10 +100,15 @@ class SlidingDBSCAN:
         eps: float,
         tau: int,
         *,
-        index_factory: Callable[[], object] | None = None,
+        index: str | NeighborIndex | Callable[[], NeighborIndex] | None = None,
+        index_factory: Callable[[], NeighborIndex] | None = None,
     ) -> None:
-        self.params = ClusteringParams(eps, tau)
-        self.index = index_factory() if index_factory is not None else RTree()
+        self.params = ClusteringParams(
+            eps, tau, index=index if isinstance(index, str) else None
+        )
+        self.index = resolve_index(
+            index, index_factory, eps=eps, owner="SlidingDBSCAN"
+        )
         self._points: dict[int, Coords] = {}
         self._labels: dict[int, int] = {}
         self._categories: dict[int, Category] = {}

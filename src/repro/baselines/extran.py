@@ -32,7 +32,8 @@ from repro.common.errors import ConfigurationError, StreamOrderError
 from repro.common.points import StreamPoint
 from repro.common.snapshot import Category, Clustering
 from repro.core.events import StrideSummary
-from repro.index.rtree import RTree
+from repro.index.base import NeighborIndex
+from repro.index.registry import resolve_index
 
 Coords = tuple[float, ...]
 
@@ -59,7 +60,10 @@ class ExtraN:
         spec: the window specification; the stride must divide the window so
             expiry slides are exact (the setting used throughout the paper's
             evaluation).
-        index_factory: index used for the single arrival-time range search.
+        index: substrate for the single arrival-time range search — a
+            registry name, a ready :class:`~repro.index.base.NeighborIndex`,
+            or a factory (default R-tree).
+        index_factory: deprecated alias for ``index``.
     """
 
     name = "EXTRA-N"
@@ -70,17 +74,20 @@ class ExtraN:
         tau: int,
         spec: WindowSpec,
         *,
-        index_factory: Callable[[], object] | None = None,
+        index: str | NeighborIndex | Callable[[], NeighborIndex] | None = None,
+        index_factory: Callable[[], NeighborIndex] | None = None,
     ) -> None:
         if spec.window % spec.stride != 0:
             raise ConfigurationError(
                 "EXTRA-N needs stride to divide window "
                 f"(got window={spec.window}, stride={spec.stride})"
             )
-        self.params = ClusteringParams(eps, tau)
+        self.params = ClusteringParams(
+            eps, tau, index=index if isinstance(index, str) else None
+        )
         self.spec = spec
         self._lifetime = spec.strides_per_window  # m sub-windows
-        self.index = index_factory() if index_factory is not None else RTree()
+        self.index = resolve_index(index, index_factory, eps=eps, owner="ExtraN")
         self._records: dict[int, _ExtraNRecord] = {}
         self._slide = 0
         self._labels: dict[int, int] = {}

@@ -23,6 +23,8 @@ from repro.common.points import StreamPoint
 from repro.common.snapshot import Clustering
 from repro.core.disc import DISC
 from repro.core.events import StrideSummary
+from repro.index.base import NeighborIndex
+from repro.index.registry import resolve_index
 
 
 class IncrementalDBSCAN:
@@ -33,7 +35,10 @@ class IncrementalDBSCAN:
     Args:
         eps: distance threshold.
         tau: density threshold (MinPts, neighbourhood includes the point).
-        index_factory: spatial index constructor (default R-tree).
+        index: spatial-index backend — a registry name, a ready
+            :class:`~repro.index.base.NeighborIndex`, or a factory
+            (default R-tree).
+        index_factory: deprecated alias for ``index``.
         multi_starter / epoch_probing: reachability-check optimizations,
             granted "in its own favor" as in the paper's evaluation.
     """
@@ -45,14 +50,20 @@ class IncrementalDBSCAN:
         eps: float,
         tau: int,
         *,
-        index_factory: Callable[[], object] | None = None,
+        index: str | NeighborIndex | Callable[[], NeighborIndex] | None = None,
+        index_factory: Callable[[], NeighborIndex] | None = None,
         multi_starter: bool = True,
         epoch_probing: bool = True,
     ) -> None:
         self._engine = DISC(
             eps,
             tau,
-            index_factory=index_factory,
+            index=resolve_index(
+                index,
+                index_factory,
+                eps=eps,
+                owner="IncrementalDBSCAN",
+            ),
             multi_starter=multi_starter,
             epoch_probing=epoch_probing,
         )

@@ -33,6 +33,7 @@ from repro.common.config import WindowSpec
 from repro.core.disc import DISC
 from repro.datasets.io import read_stream, write_labels, write_stream
 from repro.datasets.registry import DATASETS
+from repro.index.registry import DEFAULT_INDEX, available_indexes
 from repro.metrics.kdist import suggest_eps, suggest_tau
 from repro.window.sliding import SlidingWindow
 
@@ -66,6 +67,13 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--window", type=int, required=True)
     cluster.add_argument("--stride", type=int, required=True)
     cluster.add_argument("--time-based", action="store_true")
+    cluster.add_argument(
+        "--index",
+        choices=available_indexes(),
+        default=DEFAULT_INDEX,
+        help="spatial-index backend for index-based methods "
+        "(disc/incdbscan/extran/dbscan)",
+    )
     cluster.add_argument("--rho", type=float, default=0.001, help="rho2 only")
     cluster.add_argument("--output", help="labels CSV for the final window")
     cluster.add_argument(
@@ -89,6 +97,12 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--tau", type=int, required=True)
     compare.add_argument("--window", type=int, required=True)
     compare.add_argument("--stride", type=int, required=True)
+    compare.add_argument(
+        "--index",
+        choices=available_indexes(),
+        default=DEFAULT_INDEX,
+        help="spatial-index backend for index-based methods",
+    )
     return parser
 
 
@@ -96,14 +110,15 @@ def make_method(name: str, args) -> object:
     """Instantiate a clusterer by CLI name."""
     spec = WindowSpec(window=args.window, stride=args.stride)
     dim = getattr(args, "dim", None)
+    index = getattr(args, "index", DEFAULT_INDEX)
     if name == "disc":
-        return DISC(args.eps, args.tau)
+        return DISC(args.eps, args.tau, index=index)
     if name == "incdbscan":
-        return IncrementalDBSCAN(args.eps, args.tau)
+        return IncrementalDBSCAN(args.eps, args.tau, index=index)
     if name == "extran":
-        return ExtraN(args.eps, args.tau, spec)
+        return ExtraN(args.eps, args.tau, spec, index=index)
     if name == "dbscan":
-        return SlidingDBSCAN(args.eps, args.tau)
+        return SlidingDBSCAN(args.eps, args.tau, index=index)
     if name == "rho2":
         return RhoDoubleApproxDBSCAN(
             args.eps, args.tau, dim=dim, rho=getattr(args, "rho", 0.001)

@@ -9,7 +9,7 @@ from repro.common.errors import ConfigurationError
 
 @dataclass(frozen=True)
 class ClusteringParams:
-    """The two DBSCAN-family thresholds.
+    """The two DBSCAN-family thresholds, plus the chosen index substrate.
 
     Attributes:
         eps: distance threshold (the paper's epsilon). A point q is an
@@ -18,16 +18,28 @@ class ClusteringParams:
             core when its epsilon-neighbourhood, *including itself*, holds at
             least ``tau`` points — matching COLLECT, which initialises
             ``n_eps(p) = 1`` on insertion.
+        index: registry name of the spatial-index backend the clusterer
+            should run on (see ``repro.index.registry``), or ``None`` to let
+            the clusterer use its default (the R-tree) or an explicitly
+            injected index instance. Recorded here so a configuration round-
+            trips the substrate choice alongside the thresholds.
     """
 
     eps: float
     tau: int
+    index: str | None = None
 
     def __post_init__(self) -> None:
         if self.eps <= 0:
             raise ConfigurationError(f"eps must be positive, got {self.eps}")
         if self.tau < 1:
             raise ConfigurationError(f"tau must be >= 1, got {self.tau}")
+        if self.index is not None and (
+            not isinstance(self.index, str) or not self.index
+        ):
+            raise ConfigurationError(
+                f"index must be a backend name or None, got {self.index!r}"
+            )
 
     @property
     def eps_sq(self) -> float:

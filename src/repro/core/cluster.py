@@ -335,13 +335,15 @@ def process_neo_cores(
 def repair_anchors(state: WindowState, index) -> int:
     """Re-anchor borders whose anchor core vanished (Section V, last resort).
 
-    Each repair costs one range search. Returns the number of searches spent.
+    Each repair costs one range search; the searches are mutation-free, so
+    the whole repair set is issued as one batched ``ball_many`` call.
+    Returns the number of searches spent.
     """
     params = state.params
     eps = params.eps
     tau = params.tau
     records = state.records
-    searches = 0
+    pending = []
     for pid in state.repair:
         rec = records.get(pid)
         if rec is None or rec.deleted:
@@ -352,16 +354,22 @@ def repair_anchors(state: WindowState, index) -> int:
         if anchor is not None and not anchor.deleted and anchor.n_eps >= tau:
             continue  # anchor is still a live core
         rec.anchor = None
-        searches += 1
-        for qid, _ in index.ball(rec.coords, eps):
-            if qid == pid:
+        pending.append(rec)
+    balls = (
+        index.ball_many([rec.coords for rec in pending], eps)
+        if pending
+        else []
+    )
+    for rec, neighbours in zip(pending, balls):
+        for qid, _ in neighbours:
+            if qid == rec.pid:
                 continue
             q = records[qid]
             if not q.deleted and q.n_eps >= tau:
                 rec.anchor = qid
                 break
         assert rec.anchor is not None, (
-            f"border {pid} has c_core={rec.c_core} but no core neighbour"
+            f"border {rec.pid} has c_core={rec.c_core} but no core neighbour"
         )
     state.repair.clear()
-    return searches
+    return len(pending)

@@ -35,9 +35,12 @@ def collect(
     """Run COLLECT for one stride; returns ex-cores, neo-cores and C_out.
 
     One range search is executed per point in ``delta_out`` and per point in
-    ``delta_in`` — exactly the paper's accounting. Alongside the ``n_eps``
-    updates of Algorithm 1, the same searches maintain each point's core
-    neighbour count ``c_core`` (the border bookkeeping of DESIGN.md §3.3).
+    ``delta_in`` — exactly the paper's accounting — but each delta is issued
+    as a *single* batched ``ball_many`` call, so backends with vectorized or
+    bulk machinery amortise work across the whole stride. Alongside the
+    ``n_eps`` updates of Algorithm 1, the same searches maintain each
+    point's core neighbour count ``c_core`` (the border bookkeeping of
+    DESIGN.md §3.3).
     """
     params = state.params
     eps = params.eps
@@ -49,15 +52,25 @@ def collect(
     _validate_deltas(records, delta_in, delta_out)
 
     # --- departures (Algorithm 1, lines 2-7) -------------------------------
-    for sp in delta_out:
-        rec = records[sp.pid]
+    # All departure balls are taken up front, before anything leaves the
+    # index. That matches the one-search-at-a-time semantics exactly: a
+    # departing point found in a later departure's ball is skipped through
+    # its ``deleted`` flag, which is what the incremental index deletions
+    # used to guarantee.
+    out_recs = [records[sp.pid] for sp in delta_out]
+    out_balls = (
+        index.ball_many([rec.coords for rec in out_recs], eps)
+        if out_recs
+        else []
+    )
+    non_core_exits: list[int] = []
+    for rec, neighbours in zip(out_recs, out_balls):
         was_core = rec.was_core
-        neighbours = index.ball(rec.coords, eps)
         if was_core:
             # Ex-cores linger in the index until CLUSTER finishes (line 3).
             result.c_out.append(rec.pid)
         else:
-            index.delete(rec.pid)
+            non_core_exits.append(rec.pid)
         for qid, _ in neighbours:
             if qid == rec.pid:
                 continue
@@ -77,15 +90,33 @@ def collect(
         rec.c_core = 0
         result.deleted_ids.append(rec.pid)
         touched.discard(rec.pid)
+    index.delete_many(non_core_exits)
 
     # --- arrivals (Algorithm 1, lines 8-12) --------------------------------
+    # Insert the whole delta, then take every arrival ball in one batched
+    # call. Each ball now also contains arrivals inserted *after* its
+    # center; skipping those keeps the pair accounting identical to the
+    # sequential insert-then-search loop, where each new-new pair is counted
+    # exactly once — by the later arrival's search, for both endpoints.
+    new_recs = []
     for sp in delta_in:
         rec = PointRecord(sp.pid, tuple(sp.coords), sp.time)
         records[sp.pid] = rec
-        index.insert(sp.pid, rec.coords)
-        for qid, _ in index.ball(rec.coords, eps):
-            if qid == sp.pid:
+        new_recs.append(rec)
+    index.insert_many([(rec.pid, rec.coords) for rec in new_recs])
+    in_balls = (
+        index.ball_many([rec.coords for rec in new_recs], eps)
+        if new_recs
+        else []
+    )
+    arrival_order = {rec.pid: i for i, rec in enumerate(new_recs)}
+    for i, (rec, neighbours) in enumerate(zip(new_recs, in_balls)):
+        for qid, _ in neighbours:
+            if qid == rec.pid:
                 continue
+            order = arrival_order.get(qid)
+            if order is not None and order > i:
+                continue  # pair handled when the later arrival is processed
             q = records[qid]
             if q.deleted:
                 continue
@@ -99,7 +130,7 @@ def collect(
                 rec.c_core += 1
                 if rec.anchor is None:
                     rec.anchor = qid
-        touched.add(sp.pid)
+        touched.add(rec.pid)
 
     # --- classify the flips (Algorithm 1, line 13) -------------------------
     for pid in touched:

@@ -27,7 +27,8 @@ from repro.core.cluster import process_ex_cores, process_neo_cores, repair_ancho
 from repro.core.collect import collect
 from repro.core.events import StrideSummary
 from repro.core.state import WindowState
-from repro.index.rtree import RTree
+from repro.index.base import NeighborIndex
+from repro.index.registry import resolve_index
 
 
 class DISC:
@@ -41,9 +42,15 @@ class DISC:
         eps: distance threshold.
         tau: density threshold (MinPts); a point is core when its
             epsilon-neighbourhood including itself holds >= tau points.
-        index_factory: optional callable building the spatial index; defaults
-            to :class:`~repro.index.rtree.RTree`. Any index with the same
-            interface works (e.g. ``LinearScanIndex`` for tiny windows).
+        index: spatial-index backend — a registry name (``"rtree"``,
+            ``"grid"``, ``"vectorgrid"``, ``"linear"``), a ready
+            :class:`~repro.index.base.NeighborIndex`, or a zero-argument
+            factory. Defaults to the R-tree the paper uses. Backends without
+            native epoch probing are transparently wrapped in an
+            :class:`~repro.index.epochs.EpochAdapter` when ``epoch_probing``
+            is on.
+        index_factory: deprecated alias for ``index``; kept for backward
+            compatibility.
         multi_starter: use MS-BFS for connectivity checks (Figure 8 knob).
         epoch_probing: use epoch-based index probing (Figure 8 knob).
     """
@@ -55,13 +62,21 @@ class DISC:
         eps: float,
         tau: int,
         *,
-        index_factory: Callable[[], object] | None = None,
+        index: str | NeighborIndex | Callable[[], NeighborIndex] | None = None,
+        index_factory: Callable[[], NeighborIndex] | None = None,
         multi_starter: bool = True,
         epoch_probing: bool = True,
     ) -> None:
-        self.params = ClusteringParams(eps, tau)
+        self.params = ClusteringParams(
+            eps, tau, index=index if isinstance(index, str) else None
+        )
         self.state = WindowState(self.params)
-        self.index = index_factory() if index_factory is not None else RTree()
+        self.index = resolve_index(
+            index if index is not None else self.params.index,
+            index_factory,
+            eps=eps,
+            epoch_probing=epoch_probing,
+        )
         self.multi_starter = multi_starter
         self.epoch_probing = epoch_probing
         # Compact the cluster-id forest periodically so unbounded streams do

@@ -1,0 +1,157 @@
+"""The formal spatial-index contract every backend implements.
+
+Historically the indexes in this package shared only a duck-typed interface;
+:class:`NeighborIndex` makes the contract explicit. A backend provides the
+point-at-a-time primitives (``insert``, ``delete``, ``ball``, ``coords_of``,
+``items``) and inherits correct generic implementations of everything else:
+counting (:meth:`count_ball`), k-nearest (:meth:`nearest`), and the batched
+query layer (:meth:`insert_many`, :meth:`delete_many`, :meth:`ball_many`,
+:meth:`count_ball_many`).
+
+The batched layer is the hot-path contract: COLLECT and anchor repair issue
+one batched call per stride instead of one Python-level call per point, so a
+backend that can amortise work across queries (the numpy grid, the STR
+bulk-loading R-tree) overrides the ``*_many`` methods while every other
+backend keeps the loop fallback — results must be identical either way.
+
+Capability flags let callers adapt instead of probing with ``hasattr``:
+
+- :attr:`NeighborIndex.supports_epochs` — the backend natively implements
+  the epoch probing trio (``new_tick`` / ``ball_unvisited`` / ``mark``,
+  paper Algorithm 4). Backends without it are wrapped in
+  :class:`repro.index.epochs.EpochAdapter`, which supplies the same
+  semantics generically.
+- :attr:`NeighborIndex.radius_cap` — ``None`` for general-radius backends;
+  the tuned epsilon for grid backends whose stencil only covers balls up to
+  that radius.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Sequence
+from typing import ClassVar
+
+from repro.common.errors import IndexError_
+from repro.index.stats import IndexStats
+
+Coords = tuple[float, ...]
+
+
+class NeighborIndex(ABC):
+    """Abstract base for all spatial-index backends.
+
+    Subclasses must set :attr:`stats` (an :class:`IndexStats`) in their
+    ``__init__`` and implement the abstract primitives; everything else has
+    a correct generic fallback.
+    """
+
+    #: Whether the backend natively implements ``new_tick`` /
+    #: ``ball_unvisited`` / ``mark`` (epoch probing, paper Algorithm 4).
+    supports_epochs: ClassVar[bool] = False
+
+    #: Largest query radius the backend can serve, or ``None`` if unbounded.
+    radius_cap: float | None = None
+
+    stats: IndexStats
+
+    # ------------------------------------------------------------ primitives
+
+    @abstractmethod
+    def insert(self, pid: int, coords: Sequence[float]) -> None:
+        """Index point ``pid`` at ``coords``; duplicate ids are rejected."""
+
+    @abstractmethod
+    def delete(self, pid: int) -> None:
+        """Remove point ``pid``; unknown ids are rejected."""
+
+    @abstractmethod
+    def ball(self, center: Sequence[float], radius: float) -> list[tuple[int, Coords]]:
+        """All indexed points within ``radius`` of ``center`` (inclusive)."""
+
+    @abstractmethod
+    def coords_of(self, pid: int) -> Coords:
+        """Coordinates of an indexed point."""
+
+    @abstractmethod
+    def items(self) -> list[tuple[int, Coords]]:
+        """All (pid, coords) pairs currently indexed."""
+
+    @abstractmethod
+    def __len__(self) -> int: ...
+
+    @abstractmethod
+    def __contains__(self, pid: int) -> bool: ...
+
+    # ----------------------------------------------------- generic fallbacks
+
+    def count_ball(self, center: Sequence[float], radius: float) -> int:
+        """Number of points within ``radius`` of ``center``.
+
+        Backends that can count without materialising matches (the numpy
+        grid) override this; the fallback is ``len(ball(...))``.
+        """
+        return len(self.ball(center, radius))
+
+    def nearest(
+        self, center: Sequence[float], k: int = 1
+    ) -> list[tuple[int, Coords]]:
+        """The k nearest points to ``center``, nearest first.
+
+        Generic full-scan fallback; tree backends override with best-first
+        search. Returns fewer than k pairs when the index holds fewer points.
+        """
+        if k < 1:
+            raise IndexError_(f"k must be >= 1, got {k}")
+        self.stats.range_searches += 1
+        center = tuple(center)
+        pairs = self.items()
+        self.stats.entries_scanned += len(pairs)
+        dist = math.dist
+        pairs.sort(key=lambda item: dist(item[1], center))
+        return pairs[:k]
+
+    def check_invariants(self) -> None:
+        """Raise when a structural invariant is violated; no-op by default."""
+
+    # ---------------------------------------------------------- batched layer
+
+    def insert_many(self, items: Iterable[tuple[int, Sequence[float]]]) -> None:
+        """Index a batch of (pid, coords) pairs.
+
+        Equivalent to inserting one by one, in order; backends with bulk
+        construction machinery (STR packing) override this.
+        """
+        insert = self.insert
+        for pid, coords in items:
+            insert(pid, coords)
+
+    def delete_many(self, pids: Iterable[int]) -> None:
+        """Remove a batch of points, in order."""
+        delete = self.delete
+        for pid in pids:
+            delete(pid)
+
+    def ball_many(
+        self, centers: Sequence[Sequence[float]], radius: float
+    ) -> list[list[tuple[int, Coords]]]:
+        """One ball result list per center, in input order.
+
+        Must return exactly what per-center :meth:`ball` calls would: the
+        same points per ball, counted as one range search each in
+        :attr:`stats`. Vectorized backends override this to share work
+        across centers.
+        """
+        ball = self.ball
+        return [ball(center, radius) for center in centers]
+
+    def count_ball_many(
+        self, centers: Sequence[Sequence[float]], radius: float
+    ) -> list[int]:
+        """One in-ball count per center, in input order.
+
+        Results must be identical to per-center :meth:`count_ball` calls.
+        """
+        count_ball = self.count_ball
+        return [count_ball(center, radius) for center in centers]

@@ -13,32 +13,45 @@ import math
 from collections.abc import Sequence
 
 from repro.common.errors import IndexError_
+from repro.index.base import NeighborIndex
 from repro.index.stats import IndexStats
 
 Coords = tuple[float, ...]
 CellKey = tuple[int, ...]
 
 
-class GridIndex:
+class GridIndex(NeighborIndex):
     """Uniform grid over points, sized for an epsilon-neighbourhood workload.
 
     Args:
         eps: the distance threshold the grid is tuned for; the cell side is
             ``eps / sqrt(dim)``.
-        dim: dimensionality of the points.
+        dim: dimensionality of the points; when omitted the grid stays
+            dormant until the first insertion reveals it (which is how the
+            backend registry builds grids before any data has arrived).
     """
 
-    def __init__(self, eps: float, dim: int, stats: IndexStats | None = None) -> None:
+    def __init__(
+        self, eps: float, dim: int | None = None, stats: IndexStats | None = None
+    ) -> None:
         if eps <= 0:
             raise IndexError_(f"eps must be positive, got {eps}")
-        if dim < 1:
-            raise IndexError_(f"dim must be >= 1, got {dim}")
         self.eps = eps
+        self.radius_cap = eps
         self.dim = dim
-        self.side = eps / math.sqrt(dim)
+        self.side: float | None = None
+        self._stencil: list[CellKey] | None = None
         self._cells: dict[CellKey, dict[int, Coords]] = {}
         self._where: dict[int, CellKey] = {}
         self.stats = stats if stats is not None else IndexStats()
+        if dim is not None:
+            self._set_dim(dim)
+
+    def _set_dim(self, dim: int) -> None:
+        if dim < 1:
+            raise IndexError_(f"dim must be >= 1, got {dim}")
+        self.dim = dim
+        self.side = self.eps / math.sqrt(dim)
         self._stencil = self._build_stencil()
 
     def _build_stencil(self) -> list[CellKey]:
@@ -77,6 +90,8 @@ class GridIndex:
             raise IndexError_(f"point {pid} is already indexed")
         self.stats.inserts += 1
         coords = tuple(coords)
+        if self.side is None:
+            self._set_dim(len(coords))
         key = self.cell_of(coords)
         self._cells.setdefault(key, {})[pid] = coords
         self._where[pid] = key
@@ -90,6 +105,11 @@ class GridIndex:
         del cell[pid]
         if not cell:
             del self._cells[key]
+
+    def items(self) -> list[tuple[int, Coords]]:
+        return [
+            (pid, self._cells[key][pid]) for pid, key in self._where.items()
+        ]
 
     def cell_points(self, key: CellKey) -> dict[int, Coords]:
         """Points in one cell (empty dict when the cell is vacant)."""
@@ -119,6 +139,8 @@ class GridIndex:
                 f"grid built for eps={self.eps} cannot serve radius={radius}"
             )
         self.stats.range_searches += 1
+        if self.side is None:  # dormant: nothing has ever been inserted
+            return []
         center = tuple(center)
         results = []
         dist = math.dist

@@ -11,13 +11,16 @@ import math
 from collections.abc import Sequence
 
 from repro.common.errors import IndexError_
+from repro.index.base import NeighborIndex
 from repro.index.stats import IndexStats
 
 Coords = tuple[float, ...]
 
 
-class LinearScanIndex:
+class LinearScanIndex(NeighborIndex):
     """Dictionary-backed index scanning every point per search."""
+
+    supports_epochs = True
 
     def __init__(self, stats: IndexStats | None = None) -> None:
         self._points: dict[int, Coords] = {}

@@ -27,10 +27,15 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.common.errors import IndexError_
+from repro.index.base import NeighborIndex
 from repro.index.stats import IndexStats
 
 Coords = tuple[float, ...]
 CellKey = tuple[int, ...]
+
+# Cap on the pairwise-distance block a batched query materialises at once
+# (centers x candidates); groups larger than this are chunked.
+_BATCH_PAIR_BUDGET = 1 << 20
 
 
 class _Cell:
@@ -54,15 +59,23 @@ class _Cell:
         self.dirty = False
 
 
-class VectorGridIndex:
-    """Vectorized uniform grid tuned for one epsilon."""
+class VectorGridIndex(NeighborIndex):
+    """Vectorized uniform grid tuned for one epsilon.
 
-    def __init__(self, eps: float, dim: int, stats: IndexStats | None = None) -> None:
+    Args:
+        eps: the distance threshold (and cell side).
+        dim: point dimensionality; when omitted the 3^d stencil is built
+            lazily from the first inserted point (registry-built grids do
+            not know the dimensionality up front).
+    """
+
+    def __init__(
+        self, eps: float, dim: int | None = None, stats: IndexStats | None = None
+    ) -> None:
         if eps <= 0:
             raise IndexError_(f"eps must be positive, got {eps}")
-        if dim < 1:
-            raise IndexError_(f"dim must be >= 1, got {dim}")
         self.eps = eps
+        self.radius_cap = eps
         self.dim = dim
         self.side = eps
         self._cells: dict[CellKey, _Cell] = {}
@@ -70,6 +83,14 @@ class VectorGridIndex:
         self.stats = stats if stats is not None else IndexStats()
         # With side == eps, any point within eps of the query lies in one of
         # the 3^d surrounding cells.
+        self._stencil: list[CellKey] | None = None
+        if dim is not None:
+            self._set_dim(dim)
+
+    def _set_dim(self, dim: int) -> None:
+        if dim < 1:
+            raise IndexError_(f"dim must be >= 1, got {dim}")
+        self.dim = dim
         self._stencil = list(itertools.product((-1, 0, 1), repeat=dim))
 
     def cell_of(self, coords: Sequence[float]) -> CellKey:
@@ -89,6 +110,8 @@ class VectorGridIndex:
             raise IndexError_(f"point {pid} is already indexed")
         self.stats.inserts += 1
         coords = tuple(coords)
+        if self._stencil is None:
+            self._set_dim(len(coords))
         key = self.cell_of(coords)
         cell = self._cells.get(key)
         if cell is None:
@@ -117,6 +140,8 @@ class VectorGridIndex:
                 f"grid built for eps={self.eps} cannot serve radius={radius}"
             )
         self.stats.range_searches += 1
+        if self._stencil is None:  # dormant: nothing has ever been inserted
+            return []
         center_arr = np.asarray(center, dtype=np.float64)
         r_sq = radius * radius
         key = self.cell_of(center)
@@ -148,6 +173,8 @@ class VectorGridIndex:
                 f"grid built for eps={self.eps} cannot serve radius={radius}"
             )
         self.stats.range_searches += 1
+        if self._stencil is None:
+            return 0
         center_arr = np.asarray(center, dtype=np.float64)
         r_sq = radius * radius
         key = self.cell_of(center)
@@ -165,6 +192,97 @@ class VectorGridIndex:
                 np.count_nonzero(np.einsum("ij,ij->i", diff, diff) <= r_sq)
             )
         return total
+
+    # ----------------------------------------------------------- batched layer
+
+    def _batched_groups(self, centers):
+        """Group centers by cell; yield (center indices, pairs, matrix).
+
+        Centers sharing a cell query the identical 3^d neighbourhood, so its
+        candidate matrices are concatenated once and reused for the whole
+        group. ``pairs`` lists the candidates as (pid, coords) in exactly the
+        order :meth:`ball` would visit them (stencil order, then cell row
+        order), so masked row selection reproduces per-center results.
+        """
+        groups: dict[CellKey, list[int]] = {}
+        for i, center in enumerate(centers):
+            groups.setdefault(self.cell_of(center), []).append(i)
+        cells = self._cells
+        for key, idxs in groups.items():
+            pairs: list[tuple[int, Coords]] = []
+            mats = []
+            for offset in self._stencil:
+                cell = cells.get(tuple(k + o for k, o in zip(key, offset)))
+                if cell is None:
+                    continue
+                cell.refresh()
+                points = cell.points
+                pairs.extend((pid, points[pid]) for pid in cell.pids)
+                mats.append(cell.matrix)
+                self.stats.entries_scanned += len(cell.pids) * len(idxs)
+            block = None
+            if mats:
+                block = mats[0] if len(mats) == 1 else np.concatenate(mats)
+            yield idxs, pairs, block
+
+    def count_ball_many(
+        self, centers: Sequence[Sequence[float]], radius: float
+    ) -> list[int]:
+        """Vectorized batch counting; results identical to looped calls.
+
+        All centers falling in one cell share a single pairwise distance
+        evaluation against the concatenated neighbourhood matrices, chunked
+        so no intermediate block exceeds the pair budget.
+        """
+        if radius > self.eps + 1e-12:
+            raise IndexError_(
+                f"grid built for eps={self.eps} cannot serve radius={radius}"
+            )
+        counts = [0] * len(centers)
+        self.stats.range_searches += len(centers)
+        if self._stencil is None or not centers:
+            return counts
+        arr = np.asarray(centers, dtype=np.float64)
+        r_sq = radius * radius
+        for idxs, _, block in self._batched_groups(centers):
+            if block is None:
+                continue
+            step = max(1, _BATCH_PAIR_BUDGET // max(1, len(block)))
+            for lo in range(0, len(idxs), step):
+                chunk = idxs[lo : lo + step]
+                diff = arr[chunk][:, None, :] - block[None, :, :]
+                hits = np.count_nonzero(
+                    np.einsum("ijk,ijk->ij", diff, diff) <= r_sq, axis=1
+                )
+                for row, i in enumerate(chunk):
+                    counts[i] = int(hits[row])
+        return counts
+
+    def ball_many(
+        self, centers: Sequence[Sequence[float]], radius: float
+    ) -> list[list[tuple[int, Coords]]]:
+        """Vectorized batch ball search; per-center results match :meth:`ball`."""
+        if radius > self.eps + 1e-12:
+            raise IndexError_(
+                f"grid built for eps={self.eps} cannot serve radius={radius}"
+            )
+        out: list[list[tuple[int, Coords]]] = [[] for _ in centers]
+        self.stats.range_searches += len(centers)
+        if self._stencil is None or not centers:
+            return out
+        arr = np.asarray(centers, dtype=np.float64)
+        r_sq = radius * radius
+        for idxs, pairs, block in self._batched_groups(centers):
+            if block is None:
+                continue
+            step = max(1, _BATCH_PAIR_BUDGET // max(1, len(block)))
+            for lo in range(0, len(idxs), step):
+                chunk = idxs[lo : lo + step]
+                diff = arr[chunk][:, None, :] - block[None, :, :]
+                within = np.einsum("ijk,ijk->ij", diff, diff) <= r_sq
+                for row, i in enumerate(chunk):
+                    out[i] = [pairs[j] for j in np.nonzero(within[row])[0]]
+        return out
 
     def items(self) -> list[tuple[int, Coords]]:
         return [

@@ -1,0 +1,282 @@
+"""Conformance suite: every registered backend honours the NeighborIndex contract.
+
+One parametrized battery runs against every name in the registry, so a new
+backend registered via ``register_index`` is automatically held to the same
+contract: agreement with a brute-force oracle on ball/count_ball, correct
+delete-then-query behaviour, epoch-probing semantics (native or through the
+:class:`~repro.index.epochs.EpochAdapter`), and a batched query layer whose
+results are identical — bit for bit — to per-point loops.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.common.errors import IndexError_
+from repro.index import (
+    EpochAdapter,
+    NeighborIndex,
+    available_indexes,
+    make_index,
+    with_epochs,
+)
+
+EPS = 0.75
+DIM = 2
+BACKENDS = available_indexes()
+
+
+def make_backend(name: str) -> NeighborIndex:
+    return make_index(name, eps=EPS, dim=DIM)
+
+
+def cloud(n: int, seed: int, dim: int = DIM) -> list[tuple[int, tuple[float, ...]]]:
+    rng = random.Random(seed)
+    return [
+        (pid, tuple(rng.uniform(0.0, 6.0) for _ in range(dim)))
+        for pid in range(n)
+    ]
+
+
+def oracle_ball(points, center, radius):
+    return sorted(
+        pid for pid, coords in points if math.dist(coords, center) <= radius
+    )
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    index = make_backend(request.param)
+    yield index
+    index.check_invariants()
+
+
+def test_registry_is_complete():
+    assert set(BACKENDS) >= {"grid", "linear", "rtree", "vectorgrid"}
+
+
+class TestBallAgainstOracle:
+    def test_ball_matches_linear_oracle(self, backend):
+        points = cloud(180, seed=1)
+        for pid, coords in points:
+            backend.insert(pid, coords)
+        rng = random.Random(2)
+        for radius in (EPS, EPS / 3, 0.0):
+            for _ in range(25):
+                center = (rng.uniform(0.0, 6.0), rng.uniform(0.0, 6.0))
+                got = sorted(pid for pid, _ in backend.ball(center, radius))
+                assert got == oracle_ball(points, center, radius)
+
+    def test_count_ball_matches_ball(self, backend):
+        points = cloud(150, seed=3)
+        for pid, coords in points:
+            backend.insert(pid, coords)
+        rng = random.Random(4)
+        for _ in range(40):
+            center = (rng.uniform(0.0, 6.0), rng.uniform(0.0, 6.0))
+            assert backend.count_ball(center, EPS) == len(backend.ball(center, EPS))
+
+    def test_ball_returns_indexed_coords(self, backend):
+        points = cloud(60, seed=5)
+        for pid, coords in points:
+            backend.insert(pid, coords)
+        lookup = dict(points)
+        for pid, coords in backend.ball(points[0][1], EPS):
+            assert coords == lookup[pid]
+
+
+class TestMutation:
+    def test_delete_then_query(self, backend):
+        points = cloud(120, seed=6)
+        for pid, coords in points:
+            backend.insert(pid, coords)
+        removed = [pid for pid, _ in points[::3]]
+        for pid in removed:
+            backend.delete(pid)
+        survivors = [item for item in points if item[0] not in set(removed)]
+        assert len(backend) == len(survivors)
+        rng = random.Random(7)
+        for _ in range(20):
+            center = (rng.uniform(0.0, 6.0), rng.uniform(0.0, 6.0))
+            got = sorted(pid for pid, _ in backend.ball(center, EPS))
+            assert got == oracle_ball(survivors, center, EPS)
+        for pid in removed:
+            assert pid not in backend
+            with pytest.raises(IndexError_):
+                backend.delete(pid)
+
+    def test_duplicate_insert_rejected(self, backend):
+        backend.insert(1, (0.0, 0.0))
+        with pytest.raises(IndexError_):
+            backend.insert(1, (1.0, 1.0))
+
+    def test_items_round_trip(self, backend):
+        points = cloud(50, seed=8)
+        for pid, coords in points:
+            backend.insert(pid, coords)
+        assert sorted(backend.items()) == sorted(points)
+        for pid, coords in points[:10]:
+            assert backend.coords_of(pid) == coords
+
+
+class TestBatchedLayer:
+    """The batched API must be indistinguishable from per-point loops."""
+
+    def test_insert_many_equals_looped_inserts(self, backend_name_pair):
+        batched, looped = backend_name_pair
+        points = cloud(200, seed=9)
+        batched.insert_many(points)
+        for pid, coords in points:
+            looped.insert(pid, coords)
+        rng = random.Random(10)
+        for _ in range(25):
+            center = (rng.uniform(0.0, 6.0), rng.uniform(0.0, 6.0))
+            assert sorted(batched.ball(center, EPS)) == sorted(
+                looped.ball(center, EPS)
+            )
+
+    def test_delete_many_equals_looped_deletes(self, backend_name_pair):
+        batched, looped = backend_name_pair
+        points = cloud(150, seed=11)
+        batched.insert_many(points)
+        looped.insert_many(points)
+        doomed = [pid for pid, _ in points[::4]]
+        batched.delete_many(doomed)
+        for pid in doomed:
+            looped.delete(pid)
+        assert sorted(batched.items()) == sorted(looped.items())
+
+    def test_ball_many_identical_to_looped_balls(self, backend):
+        points = cloud(160, seed=12)
+        backend.insert_many(points)
+        rng = random.Random(13)
+        centers = [
+            (rng.uniform(0.0, 6.0), rng.uniform(0.0, 6.0)) for _ in range(30)
+        ]
+        batched = backend.ball_many(centers, EPS)
+        looped = [backend.ball(center, EPS) for center in centers]
+        assert batched == looped  # same points, same order, bit-identical
+
+    def test_count_ball_many_bit_identical(self, backend):
+        points = cloud(220, seed=14)
+        backend.insert_many(points)
+        rng = random.Random(15)
+        # Centers on indexed points maximise boundary cases (dist == radius).
+        centers = [coords for _, coords in points[::5]] + [
+            (rng.uniform(0.0, 6.0), rng.uniform(0.0, 6.0)) for _ in range(20)
+        ]
+        batched = backend.count_ball_many(centers, EPS)
+        looped = [backend.count_ball(center, EPS) for center in centers]
+        assert batched == looped
+
+    def test_batched_calls_on_empty_index(self, backend):
+        assert backend.ball_many([(0.0, 0.0)], EPS) == [[]]
+        assert backend.count_ball_many([(0.0, 0.0)], EPS) == [0]
+        assert backend.ball_many([], EPS) == []
+        assert backend.count_ball_many([], EPS) == []
+
+
+@pytest.fixture(params=BACKENDS)
+def backend_name_pair(request):
+    """Two fresh instances of the same backend, for batched-vs-looped tests."""
+    return make_backend(request.param), make_backend(request.param)
+
+
+class TestEpochProbing:
+    """Epoch semantics must hold on every backend, native or adapted."""
+
+    @pytest.fixture(params=BACKENDS)
+    def epoch_backend(self, request):
+        index = with_epochs(make_backend(request.param))
+        points = cloud(90, seed=16)
+        index.insert_many(points)
+        return index, points
+
+    def test_with_epochs_wraps_only_when_needed(self):
+        for name in BACKENDS:
+            raw = make_backend(name)
+            wrapped = with_epochs(raw)
+            assert wrapped.supports_epochs
+            if raw.supports_epochs:
+                assert wrapped is raw
+            else:
+                assert isinstance(wrapped, EpochAdapter)
+                assert wrapped.inner is raw
+
+    def test_first_probe_equals_plain_ball(self, epoch_backend):
+        index, points = epoch_backend
+        tick = index.new_tick()
+        center = points[0][1]
+        unvisited = sorted(pid for pid, _ in index.ball_unvisited(center, EPS, tick))
+        assert unvisited == sorted(pid for pid, _ in index.ball(center, EPS))
+
+    def test_visited_points_are_not_returned_again(self, epoch_backend):
+        index, points = epoch_backend
+        tick = index.new_tick()
+        center = points[0][1]
+        first = index.ball_unvisited(center, EPS, tick)
+        assert index.ball_unvisited(center, EPS, tick) == []
+        # Overlapping probe: only points outside the first ball may show up.
+        seen = {pid for pid, _ in first}
+        other = index.ball_unvisited(points[1][1], EPS, tick)
+        assert not seen & {pid for pid, _ in other}
+
+    def test_should_mark_defers_marking(self, epoch_backend):
+        index, points = epoch_backend
+        tick = index.new_tick()
+        center = points[0][1]
+        first = index.ball_unvisited(center, EPS, tick, lambda pid: False)
+        second = index.ball_unvisited(center, EPS, tick, lambda pid: False)
+        assert sorted(first) == sorted(second)  # nothing was marked
+        for pid, _ in first:
+            index.mark(pid, tick)
+        assert index.ball_unvisited(center, EPS, tick) == []
+
+    def test_new_tick_resets_visibility(self, epoch_backend):
+        index, points = epoch_backend
+        center = points[0][1]
+        tick = index.new_tick()
+        index.ball_unvisited(center, EPS, tick)
+        fresh = index.new_tick()
+        assert fresh > tick
+        unvisited = sorted(pid for pid, _ in index.ball_unvisited(center, EPS, fresh))
+        assert unvisited == sorted(pid for pid, _ in index.ball(center, EPS))
+
+    def test_mark_unknown_pid_rejected(self, epoch_backend):
+        index, _ = epoch_backend
+        tick = index.new_tick()
+        with pytest.raises(IndexError_):
+            index.mark(10_000, tick)
+
+    def test_inserted_point_starts_unvisited(self, epoch_backend):
+        index, points = epoch_backend
+        tick = index.new_tick()
+        center = points[0][1]
+        index.ball_unvisited(center, EPS, tick)
+        index.insert(9_999, center)
+        late = index.ball_unvisited(center, EPS, tick)
+        assert [pid for pid, _ in late] == [9_999]
+
+    def test_adapter_keeps_vectorized_batches(self):
+        wrapped = with_epochs(make_backend("vectorgrid"))
+        assert isinstance(wrapped, EpochAdapter)
+        points = cloud(80, seed=17)
+        wrapped.insert_many(points)
+        centers = [coords for _, coords in points[::3]]
+        assert wrapped.count_ball_many(centers, EPS) == [
+            wrapped.count_ball(center, EPS) for center in centers
+        ]
+
+
+class TestStats:
+    def test_range_searches_counted_per_center(self, backend):
+        points = cloud(40, seed=18)
+        backend.insert_many(points)
+        before = backend.stats.range_searches
+        centers = [coords for _, coords in points[:7]]
+        backend.ball_many(centers, EPS)
+        backend.count_ball_many(centers, EPS)
+        assert backend.stats.range_searches == before + 14
