@@ -53,15 +53,27 @@ from repro.metrics import (
     suggest_eps,
     suggest_tau,
 )
-from repro.monitoring import AnomalyMonitor, AnomalyReport
-from repro.window import SlidingWindow, drive, replay
+from repro.monitoring import AnomalyMonitor, AnomalyReport, runtime_report
+from repro.runtime import (
+    CheckpointStore,
+    DeadLetterSink,
+    FaultPolicy,
+    RuntimeStats,
+    Supervisor,
+)
+from repro.window import SlidingWindow, drive, drive_supervised, replay
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AnomalyMonitor",
     "AnomalyReport",
+    "CheckpointStore",
     "DISC",
+    "DeadLetterSink",
+    "FaultPolicy",
+    "RuntimeStats",
+    "Supervisor",
     "Category",
     "ClusterTracker",
     "Clustering",
@@ -93,8 +105,10 @@ __all__ = [
     "make_index",
     "register_index",
     "drive",
+    "drive_supervised",
     "equivalent",
     "replay",
+    "runtime_report",
     "suggest_eps",
     "suggest_tau",
 ]

@@ -4,6 +4,12 @@ Most users want exactly this loop: slice a stream by a sliding window, feed
 each slide to DISC, and look at the snapshot per advance.
 :func:`cluster_stream` packages it as a generator; :func:`cluster_static`
 is the one-shot (no window) case.
+
+When any resilience option is given — a checkpoint directory, ``resume``,
+or an input-fault policy — :func:`cluster_stream` routes the run through
+the :class:`~repro.runtime.supervisor.Supervisor` so crashes can be resumed
+with byte-identical results and malformed input is handled by policy
+instead of by luck. See ``docs/operations.md``.
 """
 
 from __future__ import annotations
@@ -11,6 +17,7 @@ from __future__ import annotations
 from collections.abc import Callable, Iterable, Iterator
 
 from repro.common.config import WindowSpec
+from repro.common.errors import ConfigurationError
 from repro.common.points import StreamPoint
 from repro.common.snapshot import Clustering
 from repro.core.disc import DISC
@@ -28,6 +35,13 @@ def cluster_stream(
     time_based: bool = False,
     clusterer=None,
     index: str | NeighborIndex | Callable[[], NeighborIndex] | None = None,
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int = 16,
+    resume: bool | str = False,
+    on_malformed: str | None = None,
+    dead_letter=None,
+    stats=None,
+    hooks=None,
 ) -> Iterator[tuple[Clustering, StrideSummary]]:
     """Cluster a stream under a sliding window, yielding per-stride results.
 
@@ -41,6 +55,20 @@ def cluster_stream(
             registry name (see ``repro.index.registry``), a ready
             :class:`~repro.index.base.NeighborIndex`, or a factory. Ignored
             when ``clusterer`` is given.
+        checkpoint_dir: directory for durable checkpoints; enables the
+            resilient runtime (requires ``index`` to be a name or None).
+        checkpoint_every: strides between checkpoints.
+        resume: ``True`` to restore the latest checkpoint from
+            ``checkpoint_dir`` (error when none), ``"auto"`` to resume only
+            when one exists. Pass the stream from the beginning — the
+            runtime skips what the checkpoint already covers.
+        on_malformed: input-fault policy, ``"strict"`` / ``"skip"`` /
+            ``"clamp"`` (see ``repro.runtime.policies``). ``None`` keeps
+            the legacy unguarded path unless checkpointing is requested.
+        dead_letter: optional
+            :class:`~repro.runtime.policies.DeadLetterSink`.
+        stats: optional :class:`~repro.runtime.stats.RuntimeStats` to fill.
+        hooks: optional :class:`~repro.runtime.chaos.RuntimeHooks`.
 
     Yields:
         ``(snapshot, summary)`` after every window advance.
@@ -58,6 +86,43 @@ def cluster_stream(
         >>> results[-1][0].num_clusters
         2
     """
+    resilient = (
+        checkpoint_dir is not None
+        or bool(resume)
+        or on_malformed is not None
+        or dead_letter is not None
+        or stats is not None
+        or hooks is not None
+    )
+    if resilient:
+        if clusterer is not None:
+            raise ConfigurationError(
+                "the resilient runtime drives DISC itself; "
+                "clusterer= cannot be combined with checkpoint/resume/"
+                "on_malformed options"
+            )
+        if index is not None and not isinstance(index, str):
+            raise ConfigurationError(
+                "the resilient runtime needs a registry index name (or "
+                f"None) so checkpoints can be restored; got {index!r}"
+            )
+        from repro.runtime.supervisor import Supervisor
+
+        supervisor = Supervisor(
+            eps,
+            tau,
+            spec,
+            store=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            index=index,
+            time_based=time_based,
+            policy=on_malformed if on_malformed is not None else "strict",
+            dead_letter=dead_letter,
+            stats=stats,
+            hooks=hooks,
+        )
+        yield from supervisor.run(points, resume=resume)
+        return
     method = clusterer if clusterer is not None else DISC(eps, tau, index=index)
     for delta_in, delta_out in SlidingWindow(spec, time_based).slides(points):
         summary = method.advance(delta_in, delta_out)

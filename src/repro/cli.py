@@ -8,10 +8,20 @@ Commands:
 - ``estimate`` — suggest eps (k-distance knee) and tau for a stream sample.
 - ``compare`` — quick side-by-side of all methods on a stream.
 
+``cluster`` can run resiliently: ``--checkpoint-dir`` turns on durable
+checkpoints every ``--checkpoint-every`` strides, ``--resume`` continues a
+crashed run from its latest checkpoint with byte-identical results, and
+``--on-malformed`` picks the input-fault policy (strict/skip/clamp, with an
+optional ``--dead-letter`` JSONL sink). ``--chaos-kill-at`` injects a crash
+at a stride boundary for drills. See docs/operations.md.
+
 Examples:
     python -m repro generate --dataset maze --n 5000 --output maze.csv
     python -m repro cluster --input maze.csv --eps 0.8 --tau 4 \\
         --window 2000 --stride 100 --output labels.csv --events
+    python -m repro cluster --input maze.csv --eps 0.8 --tau 4 \\
+        --window 2000 --stride 100 --checkpoint-dir ./ckpt --resume \\
+        --on-malformed skip --dead-letter bad.jsonl
     python -m repro estimate --input maze.csv --k 4 --sample 1000
 """
 
@@ -30,12 +40,19 @@ from repro.baselines import (
     SlidingDBSCAN,
 )
 from repro.common.config import WindowSpec
+from repro.common.errors import ReproError
+from repro.core.checkpoint import CheckpointError
 from repro.core.disc import DISC
-from repro.datasets.io import read_stream, write_labels, write_stream
+from repro.datasets.io import read_stream, read_stream_lenient, write_labels, write_stream
 from repro.datasets.registry import DATASETS
 from repro.index.registry import DEFAULT_INDEX, available_indexes
 from repro.metrics.kdist import suggest_eps, suggest_tau
+from repro.monitoring import runtime_report
 from repro.window.sliding import SlidingWindow
+
+#: Exit code for an injected chaos kill, distinct from ordinary failures so
+#: recovery drills can assert the crash happened as planned.
+EXIT_CHAOS = 3
 
 METHODS = ("disc", "incdbscan", "extran", "dbscan", "rho2", "dbstream", "edmstream")
 
@@ -78,6 +95,38 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--output", help="labels CSV for the final window")
     cluster.add_argument(
         "--events", action="store_true", help="log evolution events per stride"
+    )
+    cluster.add_argument(
+        "--checkpoint-dir",
+        help="directory for durable checkpoints (disc only); enables the "
+        "resilient runtime",
+    )
+    cluster.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=16,
+        help="strides between checkpoints (default: 16)",
+    )
+    cluster.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the latest checkpoint in --checkpoint-dir",
+    )
+    cluster.add_argument(
+        "--on-malformed",
+        choices=("strict", "skip", "clamp"),
+        default="strict",
+        help="policy for malformed input records (default: strict = fail)",
+    )
+    cluster.add_argument(
+        "--dead-letter",
+        help="JSONL file collecting records rejected by skip/clamp policies",
+    )
+    cluster.add_argument(
+        "--chaos-kill-at",
+        type=int,
+        metavar="STRIDE",
+        help="fault injection: crash at this stride boundary (recovery drills)",
     )
 
     estimate = commands.add_parser(
@@ -143,7 +192,20 @@ def cmd_generate(args) -> int:
     return 0
 
 
+def _wants_runtime(args) -> bool:
+    """Do the flags ask for the resilient runtime (supervisor) path?"""
+    return bool(
+        args.checkpoint_dir
+        or args.resume
+        or args.chaos_kill_at is not None
+        or args.on_malformed != "strict"
+        or args.dead_letter
+    )
+
+
 def cmd_cluster(args) -> int:
+    if _wants_runtime(args):
+        return _cluster_supervised(args)
     points = list(read_stream(args.input))
     if not points:
         print("input stream is empty", file=sys.stderr)
@@ -170,6 +232,82 @@ def cmd_cluster(args) -> int:
         f"final window: {snapshot.num_points} points, "
         f"{snapshot.num_clusters} clusters"
     )
+    if args.output:
+        rows = write_labels(args.output, snapshot)
+        print(f"wrote {rows} labels to {args.output}")
+    return 0
+
+
+def _cluster_supervised(args) -> int:
+    """The resilient path: supervisor-driven DISC with checkpoint/resume."""
+    from repro.runtime.chaos import ChaosKill, ChaosMonkey
+    from repro.runtime.policies import DeadLetterSink
+    from repro.runtime.supervisor import Supervisor
+
+    if args.method != "disc":
+        print(
+            "checkpoint/resume and fault policies require --method disc "
+            f"(got {args.method})",
+            file=sys.stderr,
+        )
+        return 1
+    needs_store = args.resume or args.checkpoint_dir
+    if needs_store and not args.checkpoint_dir:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 1
+    spec = WindowSpec(window=args.window, stride=args.stride)
+    hooks = (
+        ChaosMonkey(kill_before_stride=args.chaos_kill_at)
+        if args.chaos_kill_at is not None
+        else None
+    )
+    dead_letter = DeadLetterSink(args.dead_letter) if args.dead_letter else None
+    supervisor = Supervisor(
+        args.eps,
+        args.tau,
+        spec,
+        store=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        index=args.index,
+        time_based=args.time_based,
+        policy=args.on_malformed,
+        dead_letter=dead_letter,
+        hooks=hooks,
+    )
+    stream = read_stream_lenient(args.input)
+    start = time.perf_counter()
+    strides = 0
+    try:
+        for _, summary in supervisor.run(stream, resume=args.resume):
+            strides += 1
+            if args.events and summary.events:
+                for event in summary.events:
+                    print(
+                        f"stride {supervisor.stride - 1}: {event.kind.value} "
+                        f"clusters={event.cluster_ids}"
+                    )
+    except ChaosKill as exc:
+        print(f"killed: {exc}", file=sys.stderr)
+        print(runtime_report(supervisor.stats), file=sys.stderr)
+        return EXIT_CHAOS
+    except CheckpointError as exc:
+        print(f"checkpoint error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    elapsed = time.perf_counter() - start
+    if supervisor.clusterer is None:
+        print("input stream is empty", file=sys.stderr)
+        return 1
+    snapshot = supervisor.snapshot()
+    print(
+        f"DISC (supervised): {strides} strides in {elapsed:.2f}s "
+        f"({elapsed / max(1, strides) * 1000:.1f} ms/stride); "
+        f"final window: {snapshot.num_points} points, "
+        f"{snapshot.num_clusters} clusters"
+    )
+    print(runtime_report(supervisor.stats))
     if args.output:
         rows = write_labels(args.output, snapshot)
         print(f"wrote {rows} labels to {args.output}")

@@ -2,11 +2,17 @@
 
 A stream processor that dies mid-stream should not have to replay a whole
 window. :func:`to_checkpoint` captures everything DISC needs — per-point
-records, the cluster-id forest, the generation counters — as a JSON-friendly
-dict; :func:`from_checkpoint` rebuilds a DISC (the spatial index is
-reconstructed with STR bulk loading, which is fast and does not need to be
-serialized). A restored instance continues the stream with byte-identical
-results to an uninterrupted run.
+records, the cluster-id forest, the generation counters, and the name of the
+index backend the run was using — as a JSON-friendly dict;
+:func:`from_checkpoint` validates the payload *before* building anything,
+rebuilds the same backend through the index registry (bulk-loading via the
+batched ``insert_many`` layer, which STR-packs on the R-tree), and returns a
+DISC that continues the stream with byte-identical results to an
+uninterrupted run.
+
+The durable envelope around these payloads (CRC, atomic writes, rotation)
+lives in :mod:`repro.runtime.store`; this module owns only the logical
+DISC state <-> dict mapping.
 """
 
 from __future__ import annotations
@@ -16,9 +22,33 @@ import json
 from repro.common.errors import ReproError
 from repro.core.disc import DISC
 from repro.core.state import PointRecord
-from repro.index.rtree import RTree
 
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
+
+#: Versions this build can restore. Version 1 predates the index registry
+#: and carries no backend name; it restores onto the default backend.
+SUPPORTED_VERSIONS = (1, 2)
+
+_REQUIRED_KEYS = (
+    "eps",
+    "tau",
+    "multi_starter",
+    "epoch_probing",
+    "records",
+    "cid_parents",
+    "cid_next",
+)
+
+_REQUIRED_RECORD_KEYS = (
+    "pid",
+    "coords",
+    "time",
+    "n_eps",
+    "c_core",
+    "was_core",
+    "cid",
+    "anchor",
+)
 
 
 class CheckpointError(ReproError):
@@ -55,6 +85,7 @@ def to_checkpoint(disc: DISC) -> dict:
         "version": CHECKPOINT_VERSION,
         "eps": disc.params.eps,
         "tau": disc.params.tau,
+        "index": disc.params.index,
         "multi_starter": disc.multi_starter,
         "epoch_probing": disc.epoch_probing,
         "records": records,
@@ -63,16 +94,71 @@ def to_checkpoint(disc: DISC) -> dict:
     }
 
 
-def from_checkpoint(payload: dict) -> DISC:
-    """Rebuild a DISC instance from :func:`to_checkpoint` output."""
-    try:
-        if payload.get("version") != CHECKPOINT_VERSION:
+def _validate(payload: dict) -> None:
+    """Reject a malformed payload before any state is constructed."""
+    version = payload.get("version")
+    if version not in SUPPORTED_VERSIONS:
+        raise CheckpointError(
+            f"unsupported checkpoint version {version!r}; "
+            f"this build restores versions "
+            f"{', '.join(str(v) for v in SUPPORTED_VERSIONS)}"
+        )
+    missing = [key for key in _REQUIRED_KEYS if key not in payload]
+    if missing:
+        raise CheckpointError(
+            f"checkpoint is missing required keys: {', '.join(missing)}"
+        )
+    if not isinstance(payload["records"], list):
+        raise CheckpointError("checkpoint 'records' must be a list")
+    index = payload.get("index")
+    if index is not None and not isinstance(index, str):
+        raise CheckpointError(
+            f"checkpoint 'index' must be a backend name or null, got {index!r}"
+        )
+    dim: int | None = None
+    for i, entry in enumerate(payload["records"]):
+        if not isinstance(entry, dict):
+            raise CheckpointError(f"checkpoint record {i} is not an object")
+        missing = [key for key in _REQUIRED_RECORD_KEYS if key not in entry]
+        if missing:
             raise CheckpointError(
-                f"unsupported checkpoint version {payload.get('version')!r}"
+                f"checkpoint record {i} is missing keys: {', '.join(missing)}"
             )
+        coords = entry["coords"]
+        if not isinstance(coords, (list, tuple)) or not coords:
+            raise CheckpointError(
+                f"checkpoint record {i} has invalid coords {coords!r}"
+            )
+        if dim is None:
+            dim = len(coords)
+        elif len(coords) != dim:
+            raise CheckpointError(
+                f"checkpoint record {i} (pid {entry['pid']!r}) is "
+                f"{len(coords)}-dimensional; earlier records are "
+                f"{dim}-dimensional"
+            )
+
+
+def from_checkpoint(payload: dict) -> DISC:
+    """Rebuild a DISC instance from :func:`to_checkpoint` output.
+
+    The payload is validated up front (version, required keys, coordinate
+    dimensionality) so a bad checkpoint raises :class:`CheckpointError`
+    before any state exists to corrupt. The spatial index is rebuilt on the
+    backend named in the payload via the registry, using the batched
+    ``insert_many`` layer so backends with bulk machinery (STR packing on
+    the R-tree) load fast.
+    """
+    if not isinstance(payload, dict):
+        raise CheckpointError(
+            f"checkpoint payload must be an object, got {type(payload).__name__}"
+        )
+    _validate(payload)
+    try:
         disc = DISC(
             payload["eps"],
             payload["tau"],
+            index=payload.get("index"),
             multi_starter=payload["multi_starter"],
             epoch_probing=payload["epoch_probing"],
         )
@@ -93,7 +179,7 @@ def from_checkpoint(payload: dict) -> DISC:
             )
             state.records[rec.pid] = rec
             items.append((rec.pid, rec.coords))
-        disc.index = RTree.bulk_load(items)
+        disc.index.insert_many(items)
         parents = {
             int(k): int(v) for k, v in payload["cid_parents"].items()
         }

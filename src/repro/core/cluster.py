@@ -361,13 +361,16 @@ def repair_anchors(state: WindowState, index) -> int:
         else []
     )
     for rec, neighbours in zip(pending, balls):
+        # Lowest-pid core, not first-in-ball-order: ball traversal order
+        # depends on index shape, which differs after a checkpoint restore;
+        # the repaired anchor must not.
         for qid, _ in neighbours:
             if qid == rec.pid:
                 continue
             q = records[qid]
             if not q.deleted and q.n_eps >= tau:
-                rec.anchor = qid
-                break
+                if rec.anchor is None or qid < rec.anchor:
+                    rec.anchor = qid
         assert rec.anchor is not None, (
             f"border {rec.pid} has c_core={rec.c_core} but no core neighbour"
         )

@@ -128,7 +128,10 @@ def collect(
                 # survives as a core is settled by CLUSTER (ex-core handling
                 # decrements again if it does not).
                 rec.c_core += 1
-                if rec.anchor is None:
+                # Lowest-pid core, not first-in-ball-order: ball traversal
+                # order depends on index shape, which differs after a
+                # checkpoint restore; the anchor choice must not.
+                if rec.anchor is None or qid < rec.anchor:
                     rec.anchor = qid
         touched.add(rec.pid)
 

@@ -19,6 +19,7 @@ import csv
 import json
 import os
 from collections.abc import Iterable, Iterator
+from typing import NamedTuple
 
 from repro.common.errors import ReproError
 from repro.common.points import StreamPoint
@@ -27,6 +28,20 @@ from repro.common.snapshot import Clustering
 
 class StreamFormatError(ReproError):
     """Raised when an input file cannot be parsed as a point stream."""
+
+
+class MalformedRecord(NamedTuple):
+    """One input record that could not be parsed as a stream point.
+
+    Yielded by :func:`read_stream_lenient` in place of a
+    :class:`~repro.common.points.StreamPoint`, so a downstream fault policy
+    (``repro.runtime.policies``) can decide whether to raise, skip, or
+    dead-letter it instead of the reader aborting the whole stream.
+    """
+
+    line_no: int
+    raw: str
+    error: str
 
 
 def read_stream(path: str, fmt: str | None = None) -> Iterator[StreamPoint]:
@@ -46,6 +61,26 @@ def read_stream(path: str, fmt: str | None = None) -> Iterator[StreamPoint]:
         raise StreamFormatError(f"unknown stream format: {fmt}")
 
 
+def read_stream_lenient(
+    path: str, fmt: str | None = None
+) -> Iterator[StreamPoint | MalformedRecord]:
+    """Like :func:`read_stream`, but yield bad records instead of raising.
+
+    Rows that fail to parse come out as :class:`MalformedRecord` entries in
+    stream position, leaving the skip/raise decision to the caller (see
+    ``repro.runtime.policies.InputGuard``). File-level problems — a missing
+    file, an unknown format — still raise :class:`StreamFormatError`.
+    """
+    if fmt is None:
+        fmt = _infer_format(path)
+    if fmt == "csv":
+        yield from _read_csv(path, lenient=True)
+    elif fmt == "jsonl":
+        yield from _read_jsonl(path, lenient=True)
+    else:
+        raise StreamFormatError(f"unknown stream format: {fmt}")
+
+
 def _infer_format(path: str) -> str:
     ext = os.path.splitext(path)[1].lower()
     if ext in (".csv", ".txt"):
@@ -57,7 +92,9 @@ def _infer_format(path: str) -> str:
     )
 
 
-def _read_csv(path: str) -> Iterator[StreamPoint]:
+def _read_csv(
+    path: str, lenient: bool = False
+) -> Iterator[StreamPoint | MalformedRecord]:
     with open(path, newline="") as handle:
         reader = csv.reader(handle)
         try:
@@ -67,14 +104,26 @@ def _read_csv(path: str) -> Iterator[StreamPoint]:
         header = _detect_header(first)
         if header is None:
             # No header: the first row is data.
-            yield _csv_point(first, 0, None)
+            yield _guarded(_csv_point, first, 0, None, lenient=lenient)
             for i, row in enumerate(reader, start=1):
                 if row:
-                    yield _csv_point(row, i, None)
+                    yield _guarded(_csv_point, row, i, None, lenient=lenient)
         else:
             for i, row in enumerate(reader):
                 if row:
-                    yield _csv_point(row, i, header)
+                    yield _guarded(_csv_point, row, i, header, lenient=lenient)
+
+
+def _guarded(
+    parse, row, line_no: int, header, *, lenient: bool
+) -> StreamPoint | MalformedRecord:
+    """Run one row parser, converting failures when ``lenient``."""
+    try:
+        return parse(row, line_no, header)
+    except StreamFormatError as exc:
+        if not lenient:
+            raise
+        return MalformedRecord(line_no, ",".join(map(str, row)), str(exc))
 
 
 def _detect_header(row: list[str]) -> dict[str, int] | None:
@@ -108,7 +157,9 @@ def _csv_point(
         ) from exc
 
 
-def _read_jsonl(path: str) -> Iterator[StreamPoint]:
+def _read_jsonl(
+    path: str, lenient: bool = False
+) -> Iterator[StreamPoint | MalformedRecord]:
     with open(path) as handle:
         for i, line in enumerate(handle):
             line = line.strip()
@@ -120,6 +171,9 @@ def _read_jsonl(path: str) -> Iterator[StreamPoint]:
                 pid = int(obj.get("pid", i))
                 time = float(obj.get("time", i))
             except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                if lenient:
+                    yield MalformedRecord(i, line[:200], str(exc))
+                    continue
                 raise StreamFormatError(
                     f"bad JSONL line {i}: {line[:80]!r} ({exc})"
                 ) from exc

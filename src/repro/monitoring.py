@@ -1,4 +1,6 @@
-"""Streaming anomaly detection on top of DISC (the intro's third use case).
+"""Streaming health monitoring: anomaly reports and runtime counters.
+
+Streaming anomaly detection on top of DISC (the intro's third use case).
 
 The paper motivates streaming density clustering with "outlier detection in
 network communication": under DBSCAN semantics an anomaly is a *noise* point
@@ -93,3 +95,34 @@ class AnomalyMonitor:
     def suspicion_of(self, pid: int) -> int:
         """How many consecutive strides ``pid`` has been noise (0 if none)."""
         return self._noise_streak.get(pid, 0)
+
+
+def runtime_report(stats) -> str:
+    """Render a :class:`~repro.runtime.stats.RuntimeStats` for operators.
+
+    One line per concern, stable ordering, suitable for logs and the CLI's
+    end-of-run summary. Fault reasons appear only when they occurred.
+    """
+    lines = [
+        f"input: {stats.points_seen} seen, {stats.points_admitted} admitted, "
+        f"{stats.points_clamped} clamped, "
+        f"{stats.points_dead_lettered} dead-lettered",
+        f"progress: {stats.strides} strides, "
+        f"{stats.checkpoints_written} checkpoints written",
+    ]
+    if stats.faults:
+        faults = ", ".join(
+            f"{reason}={count}" for reason, count in sorted(stats.faults.items())
+        )
+        lines.append(f"faults: {faults}")
+    if stats.resumes:
+        lines.append(
+            f"recovery: resumed {stats.resumes}x "
+            f"(last at stride {stats.resumed_at_stride})"
+        )
+    if stats.invariant_failures:
+        lines.append(
+            f"integrity: {stats.invariant_failures} invariant failures, "
+            f"{stats.rebuilds} full re-clusters"
+        )
+    return "\n".join(lines)

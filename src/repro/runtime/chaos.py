@@ -1,0 +1,191 @@
+"""Fault-injection harness for the resilient runtime.
+
+Recovery code that is never exercised is broken code. This module gives the
+test suite (and operators rehearsing incident response) three precise ways
+to hurt a run:
+
+- :class:`ChaosMonkey` — runtime hooks that kill the run at a chosen stride
+  boundary (or after a chosen checkpoint) by raising :class:`ChaosKill`;
+- :func:`corrupt_checkpoint` — flip bytes inside a checkpoint file so the
+  store's CRC validation must catch it;
+- :class:`FlakyIndex` — a :class:`~repro.index.base.NeighborIndex` wrapper
+  whose queries start raising after a fuse burns down, simulating a failing
+  index substrate mid-stride.
+
+The recovery contract proven by ``tests/test_runtime_recovery.py``: kill a
+supervised run at *any* stride boundary, resume from the store, and the
+final snapshot is byte-identical to an uninterrupted run — on every
+registered index backend.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.common.errors import IndexError_, ReproError
+from repro.index.base import NeighborIndex
+
+
+class ChaosKill(ReproError):
+    """Injected crash: the simulated process death of a supervised run."""
+
+
+class RuntimeHooks:
+    """Observation/injection points the Supervisor calls around each stride.
+
+    Subclass and override what you need; the default implementations do
+    nothing. Any hook may raise to simulate a crash at that point.
+    """
+
+    def before_stride(self, stride: int) -> None:
+        """Called at the boundary before stride ``stride`` is processed."""
+
+    def after_stride(self, stride: int, summary) -> None:
+        """Called after stride ``stride`` completed (pre-checkpoint)."""
+
+    def after_checkpoint(self, stride: int, path) -> None:
+        """Called after a checkpoint for ``stride`` was durably written."""
+
+
+class ChaosMonkey(RuntimeHooks):
+    """Hooks that kill the run at configured points.
+
+    Args:
+        kill_before_stride: raise :class:`ChaosKill` at the boundary before
+            this stride index is processed (0-based; the uninterrupted run
+            numbers its strides 0, 1, 2, ...).
+        kill_after_checkpoint: raise right after the checkpoint taken at
+            this stride count is written — the worst case for resume logic
+            (state persisted, progress lost).
+    """
+
+    def __init__(
+        self,
+        kill_before_stride: int | None = None,
+        kill_after_checkpoint: int | None = None,
+    ) -> None:
+        self.kill_before_stride = kill_before_stride
+        self.kill_after_checkpoint = kill_after_checkpoint
+        self.kills = 0
+
+    def before_stride(self, stride: int) -> None:
+        if self.kill_before_stride is not None and stride >= self.kill_before_stride:
+            self.kills += 1
+            raise ChaosKill(
+                f"chaos: injected crash at the boundary before stride {stride}"
+            )
+
+    def after_checkpoint(self, stride: int, path) -> None:
+        if (
+            self.kill_after_checkpoint is not None
+            and stride >= self.kill_after_checkpoint
+        ):
+            self.kills += 1
+            raise ChaosKill(
+                f"chaos: injected crash right after checkpoint at stride {stride}"
+            )
+
+
+def corrupt_checkpoint(path: str | os.PathLike, offset: int = -20) -> None:
+    """Flip one byte of a checkpoint file, in place.
+
+    ``offset`` indexes into the file (negative = from the end; the default
+    lands inside the JSON payload, past the envelope header). The flip XORs
+    the byte with 0x01 after nudging digits, so the file stays the same
+    length — simulating silent bit rot rather than truncation.
+    """
+    with open(path, "r+b") as handle:
+        data = bytearray(handle.read())
+        if not data:
+            raise ReproError(f"cannot corrupt empty file {path}")
+        index = offset % len(data)
+        byte = data[index]
+        if ord("0") <= byte <= ord("9"):
+            # Rotate a digit so the JSON stays parseable but the CRC breaks.
+            data[index] = ord("0") + (byte - ord("0") + 1) % 10
+        else:
+            data[index] = byte ^ 0x01
+        handle.seek(0)
+        handle.write(data)
+        handle.truncate()
+
+
+class FlakyIndex(NeighborIndex):
+    """Index wrapper whose queries fail once a fuse burns down.
+
+    Args:
+        inner: the real backend.
+        fail_after: number of range queries (``ball`` / ``count_ball`` and
+            their batched forms) served before every further query raises.
+        exc: exception type raised once the fuse is burnt.
+    """
+
+    # Declared epoch-less so the EpochAdapter wraps us and every probe
+    # routes through the fuse.
+    supports_epochs = False
+
+    def __init__(
+        self,
+        inner: NeighborIndex,
+        fail_after: int,
+        exc: type[Exception] = IndexError_,
+    ) -> None:
+        self.inner = inner
+        self.fail_after = fail_after
+        self.exc = exc
+        self.queries = 0
+        self.radius_cap = inner.radius_cap
+
+    @property
+    def stats(self):
+        return self.inner.stats
+
+    def _fuse(self) -> None:
+        self.queries += 1
+        if self.queries > self.fail_after:
+            raise self.exc(
+                f"chaos: index query #{self.queries} failed "
+                f"(fuse was {self.fail_after})"
+            )
+
+    # ------------------------------------------------------------- primitives
+
+    def insert(self, pid, coords):
+        self.inner.insert(pid, coords)
+
+    def delete(self, pid):
+        self.inner.delete(pid)
+
+    def ball(self, center, radius):
+        self._fuse()
+        return self.inner.ball(center, radius)
+
+    def count_ball(self, center, radius):
+        self._fuse()
+        return self.inner.count_ball(center, radius)
+
+    def ball_many(self, centers, radius):
+        self._fuse()
+        return self.inner.ball_many(centers, radius)
+
+    def count_ball_many(self, centers, radius):
+        self._fuse()
+        return self.inner.count_ball_many(centers, radius)
+
+    def coords_of(self, pid):
+        return self.inner.coords_of(pid)
+
+    def items(self):
+        return self.inner.items()
+
+    def insert_many(self, items):
+        self.inner.insert_many(items)
+
+    def delete_many(self, pids):
+        self.inner.delete_many(pids)
+
+    def __len__(self):
+        return len(self.inner)
+
+    def __contains__(self, pid):
+        return pid in self.inner

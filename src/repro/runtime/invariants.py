@@ -1,0 +1,122 @@
+"""Debug-mode consistency checks over DISC's incremental state.
+
+DISC's exactness rests on three structural invariants that an incremental
+bug (or a bad restore) would silently violate long before the output looks
+obviously wrong:
+
+- **n_eps consistency** — every live record's cached neighbour count equals
+  what the spatial index actually reports for its epsilon-ball;
+- **anchor validity** — every border point's anchor names a live core
+  within epsilon (the channel through which borders resolve a cluster id);
+- **cid-forest acyclicity** — the union-find parent map contains no cycle,
+  so ``find`` terminates and every core's cluster id resolves.
+
+:func:`check_state` reports violations as human-readable strings.
+:func:`rebuild` is the graceful degradation path: re-cluster the current
+window from scratch (same parameters, same index backend), trading one
+expensive stride for a state that is correct by construction. The
+:class:`~repro.runtime.supervisor.Supervisor` invokes both when running
+with ``check_invariants=True`` and logs a warning instead of carrying the
+corruption forward.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.common.points import StreamPoint
+from repro.core.disc import DISC
+
+MAX_REPORTED = 8
+
+
+def check_state(disc: DISC) -> list[str]:
+    """Return violation descriptions for ``disc``'s current state ([] = ok)."""
+    violations: list[str] = []
+    state = disc.state
+    eps = disc.params.eps
+    live = [rec for rec in state.records.values() if not rec.deleted]
+
+    # n_eps consistency, batched through the index's hot-path layer.
+    counts = disc.index.count_ball_many([rec.coords for rec in live], eps)
+    for rec, expected in zip(live, counts):
+        if rec.n_eps != expected:
+            violations.append(
+                f"n_eps mismatch for point {rec.pid}: cached {rec.n_eps}, "
+                f"index reports {expected}"
+            )
+
+    # Border anchors point at live cores within epsilon.
+    for rec in live:
+        if state.is_core(rec) or rec.c_core <= 0:
+            continue
+        if rec.anchor is None:
+            violations.append(f"border {rec.pid} has no anchor")
+            continue
+        anchor = state.records.get(rec.anchor)
+        if anchor is None or anchor.deleted:
+            violations.append(
+                f"border {rec.pid} anchored to absent point {rec.anchor}"
+            )
+        elif not state.is_core(anchor):
+            violations.append(
+                f"border {rec.pid} anchored to non-core {rec.anchor}"
+            )
+        elif math.dist(rec.coords, anchor.coords) > eps:
+            violations.append(
+                f"border {rec.pid} anchored to out-of-range core {rec.anchor}"
+            )
+
+    violations.extend(_forest_cycles(state.cids._parent))
+
+    if len(violations) > MAX_REPORTED:
+        extra = len(violations) - MAX_REPORTED
+        violations = violations[:MAX_REPORTED]
+        violations.append(f"... and {extra} more violations")
+    return violations
+
+
+def _forest_cycles(parent: dict[int, int]) -> list[str]:
+    """Detect cycles in a union-find parent map without mutating it."""
+    verdict: dict[int, bool] = {}  # id -> participates in a cycle
+    for start in parent:
+        path = []
+        node = start
+        while node not in verdict and parent.get(node, node) != node:
+            if node in path:
+                loop = path[path.index(node):]
+                for member in loop:
+                    verdict[member] = True
+                break
+            path.append(node)
+            node = parent[node]
+        on_cycle = verdict.get(node, False)
+        for member in path:
+            verdict.setdefault(member, on_cycle)
+    cycles = sorted(pid for pid, bad in verdict.items() if bad)
+    if not cycles:
+        return []
+    return [f"cid forest contains a cycle through ids {cycles[:MAX_REPORTED]}"]
+
+
+def rebuild(disc: DISC) -> DISC:
+    """Re-cluster the current window from scratch with the same config.
+
+    The fresh instance is DBSCAN-correct by construction. Cluster ids are
+    freshly minted, so incremental lineage (event continuity) is lost — the
+    documented price of recovering from a corrupted state.
+    """
+    fresh = DISC(
+        disc.params.eps,
+        disc.params.tau,
+        index=disc.params.index,
+        multi_starter=disc.multi_starter,
+        epoch_probing=disc.epoch_probing,
+    )
+    points = [
+        StreamPoint(rec.pid, rec.coords, rec.time)
+        for rec in disc.state.records.values()
+        if not rec.deleted
+    ]
+    fresh.advance(points, ())
+    return fresh

@@ -1,0 +1,81 @@
+"""Operational counters of one supervised streaming run.
+
+A :class:`RuntimeStats` instance travels with the
+:class:`~repro.runtime.supervisor.Supervisor` (and can be passed to
+:class:`~repro.runtime.policies.InputGuard` standalone). It is included in
+every checkpoint payload so the counters survive a crash/resume cycle: a
+resumed run reports totals as if it had never been interrupted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RuntimeStats:
+    """Counters for input health, stride progress and checkpoint activity.
+
+    Attributes:
+        points_seen: raw stream items read from the source (including ones
+            later clamped or dead-lettered).
+        points_admitted: points that reached the windowing layer.
+        points_clamped: points admitted after a ``clamp`` repair.
+        points_dead_lettered: points diverted to the dead-letter sink.
+        faults: per-reason fault counts (``nan_coord``, ``inf_coord``,
+            ``bad_dim``, ``out_of_order``, ``unparsable``). A clamped fault
+            and a dead-lettered fault both count here.
+        strides: window advances processed.
+        checkpoints_written: durable checkpoints persisted.
+        resumes: how many times this logical run was resumed from a
+            checkpoint.
+        resumed_at_stride: stride offset of the most recent resume, if any.
+        invariant_failures: debug-mode invariant violations detected.
+        rebuilds: full re-clusters performed to recover from a violation.
+    """
+
+    points_seen: int = 0
+    points_admitted: int = 0
+    points_clamped: int = 0
+    points_dead_lettered: int = 0
+    faults: dict[str, int] = field(default_factory=dict)
+    strides: int = 0
+    checkpoints_written: int = 0
+    resumes: int = 0
+    resumed_at_stride: int | None = None
+    invariant_failures: int = 0
+    rebuilds: int = 0
+
+    def count_fault(self, reason: str) -> None:
+        self.faults[reason] = self.faults.get(reason, 0) + 1
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form, embedded in checkpoint payloads."""
+        return {
+            "points_seen": self.points_seen,
+            "points_admitted": self.points_admitted,
+            "points_clamped": self.points_clamped,
+            "points_dead_lettered": self.points_dead_lettered,
+            "faults": dict(self.faults),
+            "strides": self.strides,
+            "checkpoints_written": self.checkpoints_written,
+            "resumes": self.resumes,
+            "resumed_at_stride": self.resumed_at_stride,
+            "invariant_failures": self.invariant_failures,
+            "rebuilds": self.rebuilds,
+        }
+
+    def restore(self, payload: dict) -> None:
+        """Overwrite the counters from :meth:`as_dict` output."""
+        self.points_seen = int(payload["points_seen"])
+        self.points_admitted = int(payload["points_admitted"])
+        self.points_clamped = int(payload["points_clamped"])
+        self.points_dead_lettered = int(payload["points_dead_lettered"])
+        self.faults = {str(k): int(v) for k, v in payload["faults"].items()}
+        self.strides = int(payload["strides"])
+        self.checkpoints_written = int(payload["checkpoints_written"])
+        self.resumes = int(payload["resumes"])
+        raw = payload.get("resumed_at_stride")
+        self.resumed_at_stride = None if raw is None else int(raw)
+        self.invariant_failures = int(payload["invariant_failures"])
+        self.rebuilds = int(payload["rebuilds"])

@@ -6,13 +6,21 @@ per-stride deltas under either the count-based or the time-based model;
 while measuring per-stride latency.
 """
 
-from repro.window.driver import DriveResult, StrideMeasurement, drive, replay
-from repro.window.sliding import SlidingWindow
+from repro.window.driver import (
+    DriveResult,
+    StrideMeasurement,
+    drive,
+    drive_supervised,
+    replay,
+)
+from repro.window.sliding import SlidingWindow, WindowCursor
 
 __all__ = [
     "DriveResult",
     "SlidingWindow",
     "StrideMeasurement",
+    "WindowCursor",
     "drive",
+    "drive_supervised",
     "replay",
 ]

@@ -108,3 +108,50 @@ def drive(
     return replay(
         clusterer, slides, on_stride=on_stride, max_strides=max_strides
     )
+
+
+def drive_supervised(
+    supervisor,
+    points: Iterable[StreamPoint],
+    *,
+    resume: bool | str = False,
+    on_stride: Callable[[StrideMeasurement, object], None] | None = None,
+    max_strides: int | None = None,
+) -> DriveResult:
+    """Replay a stream through a resilient runtime, timing each stride.
+
+    Like :func:`drive`, but the windowing, fault policies and checkpointing
+    all belong to the :class:`~repro.runtime.supervisor.Supervisor`, so the
+    measured per-stride time includes the runtime's overhead (input
+    guarding, checkpoint writes when due) — the number an operator actually
+    experiences.
+
+    Args:
+        supervisor: a configured :class:`~repro.runtime.supervisor.Supervisor`.
+        points: the raw stream, from the beginning (see ``Supervisor.run``).
+        resume: forwarded to ``Supervisor.run``.
+        on_stride: optional observer, called with each measurement and the
+            supervised clusterer.
+        max_strides: stop after this many strides.
+    """
+    result = DriveResult(method="DISC/supervised")
+    run = supervisor.run(points, resume=resume)
+    index = 0
+    while True:
+        start = time.perf_counter()
+        try:
+            snapshot, summary = next(run)
+        except StopIteration:
+            break
+        elapsed = time.perf_counter() - start
+        measurement = StrideMeasurement(
+            index, elapsed, snapshot.num_points, summary
+        )
+        result.measurements.append(measurement)
+        if on_stride is not None:
+            on_stride(measurement, supervisor.clusterer)
+        index += 1
+        if max_strides is not None and index >= max_strides:
+            run.close()
+            break
+    return result

@@ -12,6 +12,13 @@ Both window models of the paper are supported:
 The clustering algorithms never see which model produced a delta — they just
 receive ``(delta_in, delta_out)`` pairs (Section II-B: "the clustering
 algorithm ... is not subject to how those parameters are measured").
+
+Two driving styles share one implementation. :class:`SlidingWindow` is the
+pull-style generator most callers use; :class:`WindowCursor` is the
+push-style, *checkpointable* form underneath it: feed points one at a time,
+collect the slides each point closes, and export/restore the cursor state so
+a resilient runtime (``repro.runtime``) can resume a stream mid-window after
+a crash and reproduce the exact same slide sequence.
 """
 
 from __future__ import annotations
@@ -26,6 +33,137 @@ from repro.common.points import StreamPoint
 Slide = tuple[list[StreamPoint], list[StreamPoint]]
 
 
+class WindowCursor:
+    """Stateful, checkpointable slicer: one window advance at a time.
+
+    Unlike :meth:`SlidingWindow.slides`, whose windowing state is trapped
+    inside a generator frame, the cursor keeps it in plain attributes so it
+    can be serialized between strides (:meth:`export_state`) and rebuilt
+    later (:meth:`from_state`) with slide-for-slide identical continuation.
+
+    Args:
+        spec: window/stride sizes.
+        time_based: interpret the spec as durations over point timestamps.
+    """
+
+    def __init__(self, spec: WindowSpec, time_based: bool = False) -> None:
+        self.spec = spec
+        self.time_based = time_based
+        self._window: deque[StreamPoint] = deque()
+        self._batch: list[StreamPoint] = []
+        self._boundary: float | None = None
+        self._last_time: float | None = None
+
+    @property
+    def watermark(self) -> float | None:
+        """Largest timestamp fed so far (time-based streams only)."""
+        return self._last_time
+
+    @property
+    def window_contents(self) -> list[StreamPoint]:
+        """Points currently inside the window (excludes the pending batch)."""
+        return list(self._window)
+
+    @property
+    def pending(self) -> list[StreamPoint]:
+        """Points fed but not yet emitted in a slide."""
+        return list(self._batch)
+
+    def feed(self, point: StreamPoint) -> list[Slide]:
+        """Accept one stream point; return the slides it closes (often [])."""
+        if self.time_based:
+            return self._feed_time(point)
+        return self._feed_count(point)
+
+    def _feed_count(self, point: StreamPoint) -> list[Slide]:
+        self._batch.append(point)
+        if len(self._batch) < self.spec.stride:
+            return []
+        return [self._close_count_batch()]
+
+    def _close_count_batch(self) -> Slide:
+        batch = self._batch
+        window = self._window
+        window.extend(batch)
+        delta_out: list[StreamPoint] = []
+        while len(window) > self.spec.window:
+            delta_out.append(window.popleft())
+        self._batch = []
+        return batch, delta_out
+
+    def _feed_time(self, point: StreamPoint) -> list[Slide]:
+        if self._last_time is not None and point.time < self._last_time:
+            raise StreamOrderError(
+                f"point {point.pid} arrived out of order: its timestamp "
+                f"{point.time} precedes the stream watermark {self._last_time}"
+            )
+        self._last_time = point.time
+        if self._boundary is None:
+            self._boundary = point.time + float(self.spec.stride)
+        slides: list[Slide] = []
+        while point.time >= self._boundary:
+            batch = self._batch
+            self._window.extend(batch)
+            slides.append((batch, self._expire(self._boundary)))
+            self._batch = []
+            self._boundary += float(self.spec.stride)
+        self._batch.append(point)
+        return slides
+
+    def _expire(self, now: float) -> list[StreamPoint]:
+        cutoff = now - float(self.spec.window)
+        window = self._window
+        expired: list[StreamPoint] = []
+        while window and window[0].time <= cutoff:
+            expired.append(window.popleft())
+        return expired
+
+    def finish(self) -> Slide | None:
+        """Flush the trailing partial batch at end of stream, if any."""
+        if not self._batch:
+            return None
+        if self.time_based:
+            if self._boundary is None:
+                return None
+            batch = self._batch
+            self._window.extend(batch)
+            self._batch = []
+            return batch, self._expire(self._boundary)
+        return self._close_count_batch()
+
+    # ------------------------------------------------------- state round-trip
+
+    def export_state(self) -> dict:
+        """JSON-friendly snapshot of the windowing state between strides."""
+        pack = lambda p: [p.pid, list(p.coords), p.time]  # noqa: E731
+        return {
+            "window": [pack(p) for p in self._window],
+            "batch": [pack(p) for p in self._batch],
+            "boundary": self._boundary,
+            "last_time": self._last_time,
+            "time_based": self.time_based,
+            "spec": [self.spec.window, self.spec.stride],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "WindowCursor":
+        """Rebuild a cursor from :meth:`export_state` output."""
+        spec = WindowSpec(window=state["spec"][0], stride=state["spec"][1])
+        cursor = cls(spec, bool(state["time_based"]))
+        unpack = lambda row: StreamPoint(  # noqa: E731
+            int(row[0]), tuple(float(c) for c in row[1]), float(row[2])
+        )
+        cursor._window.extend(unpack(row) for row in state["window"])
+        cursor._batch = [unpack(row) for row in state["batch"]]
+        cursor._boundary = (
+            None if state["boundary"] is None else float(state["boundary"])
+        )
+        cursor._last_time = (
+            None if state["last_time"] is None else float(state["last_time"])
+        )
+        return cursor
+
+
 class SlidingWindow:
     """Stateless factory of per-stride deltas for one window specification."""
 
@@ -38,65 +176,12 @@ class SlidingWindow:
 
         The first few slides have empty ``delta_out`` while the window fills.
         """
-        if self.time_based:
-            yield from self._time_slides(stream)
-        else:
-            yield from self._count_slides(stream)
-
-    def _count_slides(self, stream: Iterable[StreamPoint]) -> Iterator[Slide]:
-        window: deque[StreamPoint] = deque()
-        batch: list[StreamPoint] = []
-        stride = self.spec.stride
-        capacity = self.spec.window
+        cursor = WindowCursor(self.spec, self.time_based)
         for point in stream:
-            batch.append(point)
-            if len(batch) < stride:
-                continue
-            window.extend(batch)
-            delta_out = []
-            while len(window) > capacity:
-                delta_out.append(window.popleft())
-            yield batch, delta_out
-            batch = []
-        if batch:
-            window.extend(batch)
-            delta_out = []
-            while len(window) > capacity:
-                delta_out.append(window.popleft())
-            yield batch, delta_out
-
-    def _time_slides(self, stream: Iterable[StreamPoint]) -> Iterator[Slide]:
-        window: deque[StreamPoint] = deque()
-        stride = float(self.spec.stride)
-        span = float(self.spec.window)
-        batch: list[StreamPoint] = []
-        boundary: float | None = None
-        last_time: float | None = None
-
-        def expire(now: float) -> list[StreamPoint]:
-            cutoff = now - span
-            expired = []
-            while window and window[0].time <= cutoff:
-                expired.append(window.popleft())
-            return expired
-
-        for point in stream:
-            if last_time is not None and point.time < last_time:
-                raise StreamOrderError(
-                    f"timestamps out of order: {point.time} after {last_time}"
-                )
-            last_time = point.time
-            if boundary is None:
-                boundary = point.time + stride
-            while point.time >= boundary:
-                window.extend(batch)
-                yield batch, expire(boundary)
-                batch = []
-                boundary += stride
-            batch.append(point)
-        if batch and boundary is not None:
-            window.extend(batch)
-            yield batch, expire(boundary)
+            yield from cursor.feed(point)
+        tail = cursor.finish()
+        if tail is not None:
+            yield tail
 
 
 def materialize_slides(

@@ -12,6 +12,7 @@ from repro.core.checkpoint import (
     to_checkpoint,
 )
 from repro.core.disc import DISC
+from repro.index.registry import available_indexes
 from repro.metrics.compare import assert_equivalent
 from repro.window.sliding import materialize_slides
 from tests.conftest import clustered_stream
@@ -92,18 +93,90 @@ class TestRoundTrip:
             )
 
 
+class TestBackendRestore:
+    @pytest.mark.parametrize("index", available_indexes())
+    def test_backend_survives_round_trip(self, index):
+        """The payload names its backend; restore rebuilds the same one."""
+        spec = WindowSpec(window=100, stride=25)
+        points = clustered_stream(7, 300)
+        slides = materialize_slides(points, spec)
+        disc = DISC(0.7, 4, index=index)
+        run_slides(disc, slides[:6])
+
+        payload = to_checkpoint(disc)
+        assert payload["index"] == index
+        restored = from_checkpoint(payload)
+        assert restored.params.index == index
+        assert restored.labels() == disc.labels()
+
+        # The restored instance must *continue* identically, not just match
+        # at the restore point — the index was rebuilt via bulk load.
+        run_slides(disc, slides[6:])
+        run_slides(restored, slides[6:])
+        assert restored.labels() == disc.labels()
+
+    def test_version1_payload_restores_on_default_backend(self):
+        """Pre-registry checkpoints carry no backend name; still restorable."""
+        disc = DISC(0.7, 4)
+        disc.advance(clustered_stream(8, 120), ())
+        payload = to_checkpoint(disc)
+        payload["version"] = 1
+        del payload["index"]
+        restored = from_checkpoint(payload)
+        assert restored.labels() == disc.labels()
+
+
 class TestErrors:
     def test_bad_version(self):
-        with pytest.raises(CheckpointError):
+        with pytest.raises(CheckpointError, match="unsupported checkpoint version"):
             from_checkpoint({"version": 99})
 
     def test_missing_fields(self):
-        with pytest.raises(CheckpointError):
+        with pytest.raises(CheckpointError, match="missing required keys"):
             from_checkpoint({"version": 1, "eps": 1.0})
 
     def test_invalid_json(self):
         with pytest.raises(CheckpointError):
             loads("{oops")
+
+    def test_records_must_be_a_list(self):
+        disc = DISC(0.5, 3)
+        payload = to_checkpoint(disc)
+        payload["records"] = {"not": "a list"}
+        with pytest.raises(CheckpointError, match="must be a list"):
+            from_checkpoint(payload)
+
+    def test_record_missing_keys(self):
+        disc = DISC(0.5, 3)
+        disc.advance(clustered_stream(6, 30), ())
+        payload = to_checkpoint(disc)
+        del payload["records"][0]["n_eps"]
+        with pytest.raises(CheckpointError, match="record 0 is missing"):
+            from_checkpoint(payload)
+
+    def test_inconsistent_record_dims(self):
+        disc = DISC(0.5, 3)
+        disc.advance(clustered_stream(6, 30), ())
+        payload = to_checkpoint(disc)
+        payload["records"][1]["coords"] = [1.0, 2.0, 3.0]
+        with pytest.raises(CheckpointError, match="dimensional"):
+            from_checkpoint(payload)
+
+    def test_index_must_be_a_name(self):
+        disc = DISC(0.5, 3)
+        payload = to_checkpoint(disc)
+        payload["index"] = 42
+        with pytest.raises(CheckpointError, match="backend name"):
+            from_checkpoint(payload)
+
+    def test_validation_happens_before_construction(self):
+        """A bad payload must fail fast, not half-build a DISC."""
+        disc = DISC(0.5, 3)
+        disc.advance(clustered_stream(6, 30), ())
+        payload = to_checkpoint(disc)
+        payload["records"][2]["coords"] = []
+        with pytest.raises(CheckpointError, match="invalid coords"):
+            from_checkpoint(payload)
 
     def test_empty_window_checkpoint(self):
         disc = DISC(0.5, 3)

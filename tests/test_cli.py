@@ -79,6 +79,87 @@ class TestCluster:
         assert code == 1
 
 
+class TestResilientCluster:
+    BASE = ["cluster", "--eps", "0.8", "--tau", "4",
+            "--window", "300", "--stride", "60"]
+
+    @pytest.mark.chaos
+    def test_kill_resume_round_trip_is_byte_identical(
+        self, maze_csv, tmp_path, capsys
+    ):
+        ck = str(tmp_path / "ckpt")
+        reference = str(tmp_path / "reference.csv")
+        resumed = str(tmp_path / "resumed.csv")
+
+        code = main(self.BASE + ["--input", maze_csv, "--output", reference])
+        assert code == 0
+
+        code = main(
+            self.BASE
+            + ["--input", maze_csv, "--checkpoint-dir", ck,
+               "--checkpoint-every", "2", "--chaos-kill-at", "5"]
+        )
+        assert code == 3  # EXIT_CHAOS: the drill crashed as planned
+        err = capsys.readouterr().err
+        assert "killed" in err
+
+        code = main(
+            self.BASE
+            + ["--input", maze_csv, "--checkpoint-dir", ck, "--resume",
+               "--output", resumed]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resumed 1x" in out
+        with open(reference) as a, open(resumed) as b:
+            assert a.read() == b.read()
+
+    def test_skip_policy_with_dead_letter(self, maze_csv, tmp_path, capsys):
+        dirty = str(tmp_path / "dirty.csv")
+        with open(maze_csv) as src, open(dirty, "w") as dst:
+            for i, line in enumerate(src):
+                dst.write(line)
+                if i == 100:
+                    dst.write("garbage,row\n")
+        dead = str(tmp_path / "dead.jsonl")
+        code = main(
+            self.BASE
+            + ["--input", dirty, "--on-malformed", "skip",
+               "--dead-letter", dead]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 dead-lettered" in out
+        assert "unparsable=1" in out
+        with open(dead) as handle:
+            assert "garbage" in handle.read()
+
+    def test_checkpointing_requires_disc(self, maze_csv, tmp_path, capsys):
+        code = main(
+            self.BASE
+            + ["--input", maze_csv, "--method", "dbscan",
+               "--checkpoint-dir", str(tmp_path / "ck")]
+        )
+        assert code == 1
+        assert "--method disc" in capsys.readouterr().err
+
+    def test_resume_requires_checkpoint_dir(self, maze_csv, capsys):
+        code = main(self.BASE + ["--input", maze_csv, "--resume"])
+        assert code == 1
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_resume_with_empty_store_fails_cleanly(
+        self, maze_csv, tmp_path, capsys
+    ):
+        code = main(
+            self.BASE
+            + ["--input", maze_csv, "--checkpoint-dir",
+               str(tmp_path / "never-written"), "--resume"]
+        )
+        assert code == 2
+        assert "nothing to resume" in capsys.readouterr().err
+
+
 class TestEstimate:
     def test_suggests_parameters(self, maze_csv, capsys):
         code = main(["estimate", "--input", maze_csv, "--k", "4",

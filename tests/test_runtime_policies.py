@@ -1,0 +1,264 @@
+"""Unit and end-to-end tests for the input-fault policies."""
+
+import json
+import math
+
+import pytest
+
+from repro.api import cluster_stream
+from repro.common.config import WindowSpec
+from repro.common.errors import ConfigurationError, StreamOrderError
+from repro.common.points import StreamPoint
+from repro.core.disc import DISC
+from repro.datasets.io import MalformedRecord, read_stream_lenient
+from repro.runtime import (
+    DeadLetterSink,
+    FaultPolicy,
+    InputGuard,
+    MalformedPointError,
+    RuntimeStats,
+)
+
+P = StreamPoint
+
+GOOD = [P(0, (0.0, 0.0), 0.0), P(1, (1.0, 1.0), 1.0), P(2, (2.0, 2.0), 2.0)]
+NAN = P(10, (float("nan"), 0.0), 3.0)
+INF = P(11, (float("inf"), 0.0), 3.0)
+BAD_DIM = P(12, (1.0, 2.0, 3.0), 3.0)
+STALE = P(13, (0.5, 0.5), 0.5)  # timestamp behind the watermark
+UNPARSABLE = MalformedRecord(42, "x,y,oops", "bad CSV row")
+
+
+def guard(policy, **kwargs):
+    return InputGuard(policy, RuntimeStats(), DeadLetterSink(), **kwargs)
+
+
+class TestStrict:
+    def test_good_points_pass_through(self):
+        g = guard("strict")
+        assert [g.admit(p) for p in GOOD] == GOOD
+        assert g.stats.points_admitted == 3
+        assert g.stats.points_seen == 3
+
+    @pytest.mark.parametrize(
+        "bad, fragment",
+        [
+            (NAN, "nan coord"),
+            (INF, "inf coord"),
+            (UNPARSABLE, "unparsable"),
+        ],
+    )
+    def test_faults_raise_with_context(self, bad, fragment):
+        g = guard("strict")
+        with pytest.raises(MalformedPointError, match=fragment):
+            g.admit(bad)
+
+    def test_bad_dim_raises_after_dim_learned(self):
+        g = guard("strict")
+        g.admit(GOOD[0])
+        with pytest.raises(MalformedPointError, match="2-dimensional"):
+            g.admit(BAD_DIM)
+
+    def test_out_of_order_raises_stream_order_error(self):
+        g = guard("strict")
+        for p in GOOD:
+            g.admit(p)
+        with pytest.raises(StreamOrderError) as excinfo:
+            g.admit(STALE)
+        message = str(excinfo.value)
+        # The error must carry enough context to debug the source: the
+        # point's id, its timestamp, and the watermark it fell behind.
+        assert "13" in message
+        assert "0.5" in message
+        assert "2.0" in message
+        assert "out of order" in message
+
+
+class TestSkip:
+    def test_faults_are_dead_lettered(self):
+        g = guard("skip")
+        for p in GOOD:
+            g.admit(p)
+        for bad in (NAN, INF, BAD_DIM, STALE, UNPARSABLE):
+            assert g.admit(bad) is None
+        assert g.stats.points_admitted == 3
+        assert g.stats.points_dead_lettered == 5
+        assert g.stats.faults == {
+            "nan_coord": 1,
+            "inf_coord": 1,
+            "bad_dim": 1,
+            "out_of_order": 1,
+            "unparsable": 1,
+        }
+        reasons = [reason for reason, _ in g.dead_letter.entries]
+        assert sorted(reasons) == [
+            "bad_dim",
+            "inf_coord",
+            "nan_coord",
+            "out_of_order",
+            "unparsable",
+        ]
+
+    def test_filter_yields_only_admitted(self):
+        g = guard("skip")
+        out = list(g.filter([GOOD[0], NAN, GOOD[1], UNPARSABLE, GOOD[2]]))
+        assert out == GOOD
+
+
+class TestClamp:
+    def test_inf_clamped_to_limit(self):
+        g = guard("clamp", clamp_limit=1e6)
+        point = g.admit(P(20, (float("inf"), float("-inf")), 0.0))
+        assert point.coords == (1e6, -1e6)
+        assert g.stats.points_clamped == 1
+        assert g.stats.points_admitted == 1
+
+    def test_out_of_order_lifted_to_watermark(self):
+        g = guard("clamp")
+        for p in GOOD:
+            g.admit(p)
+        point = g.admit(STALE)
+        assert point.time == 2.0  # lifted, not reordered
+        assert point.pid == STALE.pid
+        assert g.stats.points_clamped == 1
+
+    def test_nan_is_not_clampable(self):
+        g = guard("clamp")
+        assert g.admit(NAN) is None
+        assert g.stats.points_dead_lettered == 1
+
+    def test_bad_dim_is_not_clampable(self):
+        g = guard("clamp")
+        g.admit(GOOD[0])
+        assert g.admit(BAD_DIM) is None
+
+
+class TestDeadLetterSink:
+    def test_jsonl_mirror(self, tmp_path):
+        path = str(tmp_path / "dead.jsonl")
+        sink = DeadLetterSink(path)
+        g = InputGuard("skip", RuntimeStats(), sink)
+        g.admit(NAN)
+        g.admit(UNPARSABLE)
+        sink.close()
+        rows = [json.loads(line) for line in open(path)]
+        assert rows[0]["reason"] == "nan_coord"
+        assert rows[0]["pid"] == NAN.pid
+        assert rows[1]["reason"] == "unparsable"
+        assert rows[1]["line_no"] == 42
+        assert len(sink) == 2
+
+    def test_in_memory_by_default(self):
+        sink = DeadLetterSink()
+        sink.record("nan_coord", NAN)
+        assert sink.entries == [("nan_coord", NAN)]
+
+
+class TestGuardState:
+    def test_round_trip(self):
+        g = guard("strict")
+        for p in GOOD:
+            g.admit(p)
+        fresh = guard("strict")
+        fresh.restore_state(g.export_state())
+        assert fresh.watermark == 2.0
+        assert fresh.dim == 2
+        with pytest.raises(StreamOrderError):
+            fresh.admit(STALE)
+
+    def test_policy_coercion(self):
+        assert FaultPolicy.coerce("CLAMP") is FaultPolicy.CLAMP
+        assert FaultPolicy.coerce(FaultPolicy.SKIP) is FaultPolicy.SKIP
+        with pytest.raises(Exception, match="unknown fault policy"):
+            FaultPolicy.coerce("lenient")
+
+
+class TestLenientReaders:
+    def test_csv_yields_malformed_records(self, tmp_path):
+        path = tmp_path / "mixed.csv"
+        path.write_text("0.0,0.0\n1.0,1.0\nnot,numbers\n2.0,2.0\n")
+        items = list(read_stream_lenient(str(path)))
+        bad = [item for item in items if isinstance(item, MalformedRecord)]
+        good = [item for item in items if isinstance(item, StreamPoint)]
+        assert len(bad) == 1 and len(good) == 3
+        assert "not" in bad[0].raw
+
+    def test_jsonl_yields_malformed_records(self, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        path.write_text(
+            '{"pid": 0, "coords": [0.0, 0.0], "time": 0}\n'
+            "{broken json\n"
+            '{"pid": 1, "coords": [1.0, 1.0], "time": 1}\n'
+        )
+        items = list(read_stream_lenient(str(path)))
+        assert sum(isinstance(i, MalformedRecord) for i in items) == 1
+        assert sum(isinstance(i, StreamPoint) for i in items) == 2
+
+
+class TestApiIntegration:
+    def _dirty_stream(self):
+        stream = []
+        for i in range(120):
+            stream.append(P(i, (float(i % 7), float(i % 5)), float(i)))
+            if i == 60:
+                stream.append(P(1000, (float("nan"), 0.0), float(i)))
+        return stream
+
+    def test_skip_policy_end_to_end(self):
+        stats = RuntimeStats()
+        results = list(
+            cluster_stream(
+                self._dirty_stream(),
+                WindowSpec(40, 20),
+                eps=1.5,
+                tau=3,
+                on_malformed="skip",
+                stats=stats,
+            )
+        )
+        assert results, "stream should produce strides"
+        assert stats.points_seen == 121
+        assert stats.points_admitted == 120
+        assert stats.faults == {"nan_coord": 1}
+
+    def test_strict_policy_raises_end_to_end(self):
+        with pytest.raises(MalformedPointError):
+            list(
+                cluster_stream(
+                    self._dirty_stream(),
+                    WindowSpec(40, 20),
+                    eps=1.5,
+                    tau=3,
+                    on_malformed="strict",
+                )
+            )
+
+    def test_resilient_rejects_custom_clusterer(self):
+        with pytest.raises(ConfigurationError, match="clusterer"):
+            list(
+                cluster_stream(
+                    GOOD,
+                    WindowSpec(2, 1),
+                    eps=1.0,
+                    tau=2,
+                    clusterer=DISC(1.0, 2),
+                    on_malformed="skip",
+                )
+            )
+
+    def test_resilient_rejects_index_instance(self):
+        with pytest.raises(ConfigurationError, match="registry index name"):
+            list(
+                cluster_stream(
+                    GOOD,
+                    WindowSpec(2, 1),
+                    eps=1.0,
+                    tau=2,
+                    index=DISC(1.0, 2).index,
+                    on_malformed="skip",
+                )
+            )
+
+    def test_legacy_path_unchanged_without_options(self):
+        plain = list(cluster_stream(GOOD, WindowSpec(2, 1), eps=1.0, tau=2))
+        assert len(plain) == 3

@@ -1,0 +1,116 @@
+"""Unit tests for the durable checkpoint store (envelope, CRC, rotation)."""
+
+import json
+
+import pytest
+
+from repro.core.checkpoint import CheckpointError
+from repro.runtime import CheckpointStore, corrupt_checkpoint
+from repro.runtime.store import STORE_FORMAT
+
+PAYLOAD = {"stride": 7, "nested": {"values": [1.5, 2.25], "name": "run"}}
+
+
+@pytest.fixture
+def store(tmp_path):
+    return CheckpointStore(tmp_path / "ck")
+
+
+class TestSaveLoad:
+    def test_round_trip(self, store):
+        path = store.save(7, PAYLOAD)
+        assert path.name == "checkpoint-0000000007.json"
+        stride, payload = store.load(path)
+        assert stride == 7
+        assert payload == PAYLOAD
+
+    def test_latest_picks_highest_stride(self, store):
+        store.save(3, {"n": 3})
+        store.save(12, {"n": 12})
+        store.save(7, {"n": 7})
+        stride, payload = store.latest()
+        assert stride == 12
+        assert payload == {"n": 12}
+
+    def test_no_temp_files_left_behind(self, store):
+        store.save(1, PAYLOAD)
+        leftovers = [p for p in store.directory.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_latest_with_empty_store_raises(self, store):
+        with pytest.raises(CheckpointError, match="nothing to resume"):
+            store.latest()
+
+    def test_creates_directory(self, tmp_path):
+        nested = tmp_path / "a" / "b" / "c"
+        CheckpointStore(nested).save(0, {})
+        assert nested.is_dir()
+
+    def test_foreign_files_ignored(self, store):
+        store.save(2, PAYLOAD)
+        (store.directory / "notes.txt").write_text("operator scribbles")
+        (store.directory / "checkpoint-junk.json").write_text("{}")
+        assert len(store.checkpoints()) == 1
+
+
+class TestRotation:
+    def test_keeps_newest_n(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep=3)
+        for stride in range(1, 8):
+            store.save(stride, {"n": stride})
+        names = [p.name for p in store.checkpoints()]
+        assert names == [
+            "checkpoint-0000000005.json",
+            "checkpoint-0000000006.json",
+            "checkpoint-0000000007.json",
+        ]
+
+    def test_keep_must_be_positive(self, tmp_path):
+        with pytest.raises(CheckpointError, match="keep"):
+            CheckpointStore(tmp_path, keep=0)
+
+
+class TestValidation:
+    def test_crc_catches_payload_rot(self, store):
+        path = store.save(1, PAYLOAD)
+        # Rot a digit inside the payload region so the JSON stays parseable.
+        raw = path.read_text()
+        target = raw.index('"values": [1.5')
+        flipped = raw[: target + 12] + "9" + raw[target + 13 :]
+        path.write_text(flipped)
+        with pytest.raises(CheckpointError, match="integrity check"):
+            store.load(path)
+
+    def test_corrupt_checkpoint_helper_is_detected(self, store):
+        path = store.save(1, PAYLOAD)
+        corrupt_checkpoint(path)
+        with pytest.raises(CheckpointError):
+            store.load(path)
+
+    def test_truncated_file(self, store):
+        path = store.save(1, PAYLOAD)
+        path.write_bytes(path.read_bytes()[:-10])
+        with pytest.raises(CheckpointError, match="not valid JSON"):
+            store.load(path)
+
+    def test_unknown_format_version(self, store):
+        path = store.save(1, PAYLOAD)
+        envelope = json.loads(path.read_text())
+        envelope["format"] = STORE_FORMAT + 1
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(CheckpointError, match="unsupported store format"):
+            store.load(path)
+
+    def test_missing_envelope_fields(self, store):
+        path = store.save(1, PAYLOAD)
+        envelope = json.loads(path.read_text())
+        del envelope["crc32"]
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(CheckpointError, match="crc32"):
+            store.load(path)
+
+    def test_non_object_envelope(self, store):
+        path = store.directory / "checkpoint-0000000009.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(CheckpointError, match="not an object"):
+            store.load(path)

@@ -6,7 +6,7 @@ from repro.common.config import WindowSpec
 from repro.common.errors import StreamOrderError
 from repro.common.points import StreamPoint, make_points
 from repro.window.driver import drive, replay
-from repro.window.sliding import SlidingWindow, materialize_slides
+from repro.window.sliding import SlidingWindow, WindowCursor, materialize_slides
 
 
 def seq_points(n, start=0):
@@ -93,6 +93,101 @@ class TestTimeBased:
         points = self.make_timed([5, 3])
         with pytest.raises(StreamOrderError):
             list(SlidingWindow(spec, time_based=True).slides(points))
+
+    def test_out_of_order_error_names_the_culprit(self):
+        spec = WindowSpec(window=10, stride=5)
+        points = self.make_timed([5, 3], start=40)
+        with pytest.raises(StreamOrderError) as excinfo:
+            list(SlidingWindow(spec, time_based=True).slides(points))
+        message = str(excinfo.value)
+        assert "point 41" in message  # which point
+        assert "3" in message  # its timestamp
+        assert "watermark 5" in message  # what it fell behind
+
+
+def timed_points(times, start=0):
+    return [
+        StreamPoint(start + i, (float(i), 0.0), t) for i, t in enumerate(times)
+    ]
+
+
+class TestWindowCursor:
+    """Push-style cursor must match the pull-style generator exactly."""
+
+    @pytest.mark.parametrize(
+        "spec",
+        [WindowSpec(10, 5), WindowSpec(10, 3), WindowSpec(5, 5)],
+        ids=["even", "ragged", "tumbling"],
+    )
+    def test_count_based_equivalence(self, spec):
+        points = seq_points(31)
+        expected = materialize_slides(points, spec)
+        cursor = WindowCursor(spec)
+        got = []
+        for p in points:
+            got.extend(cursor.feed(p))
+        tail = cursor.finish()
+        if tail is not None:
+            got.append(tail)
+        assert got == expected
+
+    def test_time_based_equivalence(self):
+        spec = WindowSpec(window=10, stride=5)
+        points = timed_points([0, 1, 2, 6, 7, 11, 12, 16, 17, 30, 31])
+        expected = materialize_slides(points, spec, time_based=True)
+        cursor = WindowCursor(spec, time_based=True)
+        got = []
+        for p in points:
+            got.extend(cursor.feed(p))
+        tail = cursor.finish()
+        if tail is not None:
+            got.append(tail)
+        assert got == expected
+
+    @pytest.mark.parametrize("time_based", [False, True], ids=["count", "time"])
+    @pytest.mark.parametrize("cut", [0, 7, 13, 20])
+    def test_state_round_trip_continues_identically(self, time_based, cut):
+        spec = WindowSpec(window=10, stride=4) if not time_based else WindowSpec(12, 5)
+        points = (
+            seq_points(26)
+            if not time_based
+            else timed_points([0, 1, 3, 4, 6, 8, 9, 11, 13, 14, 16, 18, 20,
+                               21, 23, 25, 26, 28, 30, 31, 33, 35, 36, 38,
+                               40, 41])
+        )
+        reference = materialize_slides(points, spec, time_based)
+
+        original = WindowCursor(spec, time_based)
+        got = []
+        for p in points[:cut]:
+            got.extend(original.feed(p))
+        resumed = WindowCursor.from_state(original.export_state())
+        for p in points[cut:]:
+            got.extend(resumed.feed(p))
+        tail = resumed.finish()
+        if tail is not None:
+            got.append(tail)
+        assert got == reference
+
+    def test_export_state_is_json_safe(self):
+        import json
+
+        cursor = WindowCursor(WindowSpec(10, 4))
+        for p in seq_points(6):
+            cursor.feed(p)
+        state = json.loads(json.dumps(cursor.export_state()))
+        rebuilt = WindowCursor.from_state(state)
+        assert rebuilt.window_contents == cursor.window_contents
+        assert rebuilt.pending == cursor.pending
+
+    def test_introspection_properties(self):
+        cursor = WindowCursor(WindowSpec(10, 4))
+        points = seq_points(6)
+        for p in points:
+            cursor.feed(p)
+        assert cursor.window_contents == points[:4]
+        assert cursor.pending == points[4:]
+        assert cursor.watermark is None  # count-based: no time tracking
 
 
 class RecordingClusterer:
