@@ -1,0 +1,114 @@
+"""Tracing overhead: a traced DISC stride vs an untraced one.
+
+The observability layer promises *zero overhead when off* (every
+instrumentation site is one ``is not None`` test) and small overhead when
+on (per-stride timestamps, one ``IndexStats`` snapshot pair, counter
+increments, and sink writes). This bench quantifies both sides on the same
+steady-state workload and records the result as JSON
+(``benchmarks/results/BENCH_observability.json``) so CI can archive the
+numbers next to the trace artifacts.
+
+No hard latency assertion gates the overhead percentage — shared CI
+runners jitter far more than the effect being measured; the JSON is the
+durable record. Correctness (identical labels traced vs untraced) *is*
+asserted.
+"""
+
+import json
+import os
+import time
+
+from _workloads import dataset_stream, scaled, spec_for, stream_length
+
+from repro.bench.harness import prefill, steady_slides
+from repro.bench.reporting import RESULTS_DIR, write_result
+from repro.core.disc import DISC
+from repro.datasets.registry import DATASETS
+from repro.observability import (
+    JsonlTraceWriter,
+    PrometheusTextfileExporter,
+    Tracer,
+    percentile,
+)
+
+N_MEASURED = 16
+
+
+def _measure(traced: bool, tmp_dir: str):
+    info = DATASETS["maze"]
+    spec = spec_for(scaled(info.window), 0.05)
+    points = list(dataset_stream("maze", stream_length(spec, N_MEASURED)))
+    window_points, slides = steady_slides(points, spec, N_MEASURED)
+
+    tracer = None
+    if traced:
+        tracer = Tracer(
+            JsonlTraceWriter(os.path.join(tmp_dir, "trace.jsonl")),
+            PrometheusTextfileExporter(os.path.join(tmp_dir, "disc.prom")),
+        )
+    disc = DISC(info.eps, info.tau, tracer=tracer)
+    prefill(disc, window_points, spec)
+    elapsed = []
+    for delta_in, delta_out in slides:
+        start = time.perf_counter()
+        disc.advance(delta_in, delta_out)
+        elapsed.append(time.perf_counter() - start)
+    if tracer is not None:
+        tracer.close()
+    return {
+        "mean_ms": sum(elapsed) / len(elapsed) * 1000,
+        "p50_ms": percentile(elapsed, 50) * 1000,
+        "p95_ms": percentile(elapsed, 95) * 1000,
+        "labels": disc.snapshot().labels,
+    }
+
+
+def run_observability_overhead(tmp_dir: str):
+    off = _measure(False, tmp_dir)
+    on = _measure(True, tmp_dir)
+    # Tracing must never change the clustering.
+    assert on.pop("labels") == off.pop("labels")
+    overhead_pct = (
+        (on["mean_ms"] - off["mean_ms"]) / off["mean_ms"] * 100
+        if off["mean_ms"] > 0
+        else 0.0
+    )
+    payload = {
+        "workload": "maze @ 5% stride",
+        "n_measured": N_MEASURED,
+        "untraced": off,
+        "traced_jsonl_plus_prometheus": on,
+        "overhead_pct": round(overhead_pct, 2),
+    }
+    path = os.path.join(os.path.abspath(RESULTS_DIR), "BENCH_observability.json")
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return payload, path
+
+
+def test_observability_overhead(benchmark, tmp_path):
+    payload, path = benchmark.pedantic(
+        run_observability_overhead, args=(str(tmp_path),), rounds=1, iterations=1
+    )
+    lines = [
+        "Tracing overhead (maze @ 5% stride, JSONL + Prometheus sinks):",
+        f"  untraced: mean {payload['untraced']['mean_ms']:.3f} ms/stride "
+        f"(p95 {payload['untraced']['p95_ms']:.3f})",
+        "  traced:   mean "
+        f"{payload['traced_jsonl_plus_prometheus']['mean_ms']:.3f} ms/stride "
+        f"(p95 {payload['traced_jsonl_plus_prometheus']['p95_ms']:.3f})",
+        f"  overhead: {payload['overhead_pct']:+.1f}%",
+        f"[json written to {path}]",
+    ]
+    write_result("observability_overhead", "\n".join(lines))
+
+
+if __name__ == "__main__":
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        payload, path = run_observability_overhead(tmp)
+    print(json.dumps(payload, indent=2))
+    print(f"written to {path}")

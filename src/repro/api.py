@@ -42,6 +42,7 @@ def cluster_stream(
     dead_letter=None,
     stats=None,
     hooks=None,
+    tracer=None,
 ) -> Iterator[tuple[Clustering, StrideSummary]]:
     """Cluster a stream under a sliding window, yielding per-stride results.
 
@@ -69,6 +70,10 @@ def cluster_stream(
             :class:`~repro.runtime.policies.DeadLetterSink`.
         stats: optional :class:`~repro.runtime.stats.RuntimeStats` to fill.
         hooks: optional :class:`~repro.runtime.chaos.RuntimeHooks`.
+        tracer: optional :class:`~repro.observability.trace.Tracer`; when
+            given, the driven DISC emits one stride trace per advance
+            (incompatible with ``clusterer=``, which the caller instruments
+            directly).
 
     Yields:
         ``(snapshot, summary)`` after every window advance.
@@ -94,6 +99,11 @@ def cluster_stream(
         or stats is not None
         or hooks is not None
     )
+    if clusterer is not None and tracer is not None:
+        raise ConfigurationError(
+            "tracer= instruments the DISC built here; attach a tracer to "
+            "your own clusterer directly instead of passing both"
+        )
     if resilient:
         if clusterer is not None:
             raise ConfigurationError(
@@ -120,10 +130,15 @@ def cluster_stream(
             dead_letter=dead_letter,
             stats=stats,
             hooks=hooks,
+            tracer=tracer,
         )
         yield from supervisor.run(points, resume=resume)
         return
-    method = clusterer if clusterer is not None else DISC(eps, tau, index=index)
+    method = (
+        clusterer
+        if clusterer is not None
+        else DISC(eps, tau, index=index, tracer=tracer)
+    )
     for delta_in, delta_out in SlidingWindow(spec, time_based).slides(points):
         summary = method.advance(delta_in, delta_out)
         if summary is None:

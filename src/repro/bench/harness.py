@@ -8,6 +8,13 @@ that affordable across a large sweep, each measurement:
    method here produces the identical state it would reach stride-by-stride,
    except EXTRA-N which needs arrival slides and exposes ``prefill``);
 2. replays ``n_measured`` steady-state strides, timing each ``advance``.
+
+Counters come from the observability layer: every method exposing ``stats``
+has its :class:`~repro.index.stats.IndexStats` delta taken over the measured
+strides, and a method that supports tracing (DISC's ``tracer`` attribute)
+additionally yields the per-stride algorithm counters the paper's Figure 7
+(range searches per stride) and Figure 8 (MS-BFS / epoch-probing activity)
+are read from — one source of truth for the figures and the CLI.
 """
 
 from __future__ import annotations
@@ -72,31 +79,69 @@ def measure_method(
     spec: WindowSpec,
     n_measured: int | None = None,
 ) -> dict:
-    """Prefill, then measure mean per-stride latency at steady state.
+    """Prefill, then measure per-stride latency and counters at steady state.
 
-    Returns a dict with ``mean_stride_s``, ``per_point_s`` (latency divided
-    by points changed per stride), ``range_searches`` (during the measured
-    strides only), and ``n_measured``.
+    Returns a dict with:
+
+    - ``mean_stride_s`` / ``p50_stride_s`` / ``p95_stride_s`` — latency over
+      the measured strides (nearest-rank percentiles);
+    - ``per_point_s`` — mean latency divided by points changed per stride;
+    - ``range_searches`` — average searches per measured stride (0 for
+      methods without ``stats``), the Figure 7 quantity;
+    - ``index`` — the full :class:`~repro.index.stats.IndexStats` delta over
+      the measured strides, as a dict;
+    - ``counters`` — per-method algorithm totals (DISC only: MS-BFS
+      expansions, Theorem-1 skips, ... — the Figure 8 quantities); empty
+      for methods that do not support tracing;
+    - ``n_measured``.
+
+    Latency is still taken around the plain ``advance`` call: for traceable
+    methods the tracer is attached only for the counter collection and the
+    timing numbers come from the same wall clock as every baseline, so
+    cross-method comparisons stay apples-to-apples.
     """
     if n_measured is None:
         n_measured = default_measured_strides(spec)
     window_points, slides = steady_slides(points, spec, n_measured)
     prefill(method, window_points, spec)
     stats = getattr(method, "stats", None)
-    searches_before = stats.range_searches if stats is not None else 0
-    elapsed = []
-    for delta_in, delta_out in slides:
-        start = time.perf_counter()
-        method.advance(delta_in, delta_out)
-        elapsed.append(time.perf_counter() - start)
-    searches = (
-        stats.range_searches - searches_before if stats is not None else 0
+    stats_before = stats.snapshot() if stats is not None else None
+    traceable = hasattr(method, "tracer")
+    tracer = None
+    saved_tracer = None
+    if traceable:
+        from repro.observability import Tracer
+
+        saved_tracer = method.tracer
+        tracer = Tracer()
+        method.tracer = tracer
+    try:
+        elapsed = []
+        for delta_in, delta_out in slides:
+            start = time.perf_counter()
+            method.advance(delta_in, delta_out)
+            elapsed.append(time.perf_counter() - start)
+    finally:
+        if traceable:
+            method.tracer = saved_tracer
+    index_delta = (
+        (stats.snapshot() - stats_before).as_dict()
+        if stats is not None
+        else {}
     )
+    searches = index_delta.get("range_searches", 0)
     mean_stride = mean(elapsed)
+
+    from repro.observability import percentile
+
     return {
         "mean_stride_s": mean_stride,
+        "p50_stride_s": percentile(elapsed, 50),
+        "p95_stride_s": percentile(elapsed, 95),
         "per_point_s": mean_stride / max(1, spec.stride),
         "range_searches": searches / n_measured,
+        "index": index_delta,
+        "counters": dict(tracer.aggregate.counters) if tracer is not None else {},
         "n_measured": n_measured,
     }
 

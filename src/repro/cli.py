@@ -15,6 +15,12 @@ crashed run from its latest checkpoint with byte-identical results, and
 optional ``--dead-letter`` JSONL sink). ``--chaos-kill-at`` injects a crash
 at a stride boundary for drills. See docs/operations.md.
 
+``cluster`` can also run instrumented (``--method disc`` only): ``--trace``
+streams one JSON trace record per stride (phase timings, algorithm counters,
+index statistics) and ``--metrics-out`` maintains a Prometheus textfile with
+the run totals; either flag also prints the trace summary at the end. See
+the Observability section of docs/operations.md.
+
 Examples:
     python -m repro generate --dataset maze --n 5000 --output maze.csv
     python -m repro cluster --input maze.csv --eps 0.8 --tau 4 \\
@@ -128,6 +134,18 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="STRIDE",
         help="fault injection: crash at this stride boundary (recovery drills)",
     )
+    cluster.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write one JSON trace record per stride to this JSONL file "
+        "(disc only)",
+    )
+    cluster.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="maintain a Prometheus textfile with cumulative run metrics "
+        "(disc only)",
+    )
 
     estimate = commands.add_parser(
         "estimate", help="suggest eps/tau from a stream sample"
@@ -203,27 +221,65 @@ def _wants_runtime(args) -> bool:
     )
 
 
+def _make_tracer(args):
+    """Build a tracer from --trace/--metrics-out, or None when neither set.
+
+    Returns an error string instead when the flags are misused.
+    """
+    if not (args.trace or args.metrics_out):
+        return None
+    if args.method != "disc":
+        return (
+            "--trace/--metrics-out instrument DISC internals and require "
+            f"--method disc (got {args.method})"
+        )
+    from repro.observability import (
+        JsonlTraceWriter,
+        PrometheusTextfileExporter,
+        Tracer,
+    )
+
+    sinks = []
+    if args.trace:
+        sinks.append(JsonlTraceWriter(args.trace))
+    if args.metrics_out:
+        sinks.append(PrometheusTextfileExporter(args.metrics_out))
+    return Tracer(*sinks)
+
+
 def cmd_cluster(args) -> int:
+    tracer = _make_tracer(args)
+    if isinstance(tracer, str):
+        print(tracer, file=sys.stderr)
+        return 1
     if _wants_runtime(args):
-        return _cluster_supervised(args)
+        return _cluster_supervised(args, tracer)
     points = list(read_stream(args.input))
     if not points:
         print("input stream is empty", file=sys.stderr)
         return 1
     args.dim = len(points[0].coords)
     method = make_method(args.method, args)
+    if tracer is not None:
+        method.tracer = tracer
     spec = WindowSpec(window=args.window, stride=args.stride)
     start = time.perf_counter()
     strides = 0
-    for delta_in, delta_out in SlidingWindow(spec, args.time_based).slides(points):
-        summary = method.advance(delta_in, delta_out)
-        strides += 1
-        if args.events and summary is not None and summary.events:
-            for event in summary.events:
-                print(
-                    f"stride {strides - 1}: {event.kind.value} "
-                    f"clusters={event.cluster_ids}"
-                )
+    try:
+        for delta_in, delta_out in SlidingWindow(spec, args.time_based).slides(
+            points
+        ):
+            summary = method.advance(delta_in, delta_out)
+            strides += 1
+            if args.events and summary is not None and summary.events:
+                for event in summary.events:
+                    print(
+                        f"stride {strides - 1}: {event.kind.value} "
+                        f"clusters={event.cluster_ids}"
+                    )
+    finally:
+        if tracer is not None:
+            tracer.close()
     elapsed = time.perf_counter() - start
     snapshot = method.snapshot()
     print(
@@ -232,13 +288,15 @@ def cmd_cluster(args) -> int:
         f"final window: {snapshot.num_points} points, "
         f"{snapshot.num_clusters} clusters"
     )
+    if tracer is not None:
+        print(tracer.report())
     if args.output:
         rows = write_labels(args.output, snapshot)
         print(f"wrote {rows} labels to {args.output}")
     return 0
 
 
-def _cluster_supervised(args) -> int:
+def _cluster_supervised(args, tracer=None) -> int:
     """The resilient path: supervisor-driven DISC with checkpoint/resume."""
     from repro.runtime.chaos import ChaosKill, ChaosMonkey
     from repro.runtime.policies import DeadLetterSink
@@ -273,6 +331,7 @@ def _cluster_supervised(args) -> int:
         policy=args.on_malformed,
         dead_letter=dead_letter,
         hooks=hooks,
+        tracer=tracer,
     )
     stream = read_stream_lenient(args.input)
     start = time.perf_counter()
@@ -296,6 +355,9 @@ def _cluster_supervised(args) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if tracer is not None:
+            tracer.close()
     elapsed = time.perf_counter() - start
     if supervisor.clusterer is None:
         print("input stream is empty", file=sys.stderr)
@@ -307,7 +369,11 @@ def _cluster_supervised(args) -> int:
         f"final window: {snapshot.num_points} points, "
         f"{snapshot.num_clusters} clusters"
     )
-    print(runtime_report(supervisor.stats))
+    if tracer is not None:
+        # One merged end-of-run block: runtime counters + trace totals.
+        print(tracer.report(supervisor.stats))
+    else:
+        print(runtime_report(supervisor.stats))
     if args.output:
         rows = write_labels(args.output, snapshot)
         print(f"wrote {rows} labels to {args.output}")

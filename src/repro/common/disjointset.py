@@ -14,11 +14,19 @@ class DisjointSet:
 
     Ids are created on demand by :meth:`make`; :meth:`find` on an unknown id
     registers it as its own singleton, which keeps call sites simple.
+
+    Beyond the classic operations, the forest supports *retirement*
+    (:meth:`retire`): dropping an entire set — root plus every id ever merged
+    into it — once nothing references its label any more. Without it a
+    long-running stream leaks one forest entry per merged-away cluster id,
+    because :meth:`discard` can only reclaim singleton roots. A member list
+    is kept per root to make retirement O(set size) instead of a full scan.
     """
 
     def __init__(self) -> None:
         self._parent: dict[int, int] = {}
         self._size: dict[int, int] = {}
+        self._members: dict[int, list[int]] = {}
         self._next_id = 0
 
     def make(self) -> int:
@@ -27,6 +35,7 @@ class DisjointSet:
         self._next_id += 1
         self._parent[new_id] = new_id
         self._size[new_id] = 1
+        self._members[new_id] = [new_id]
         return new_id
 
     def find(self, item: int) -> int:
@@ -35,6 +44,7 @@ class DisjointSet:
         if item not in parent:
             parent[item] = item
             self._size[item] = 1
+            self._members[item] = [item]
             if item >= self._next_id:
                 self._next_id = item + 1
             return item
@@ -54,6 +64,7 @@ class DisjointSet:
             ra, rb = rb, ra
         self._parent[rb] = ra
         self._size[ra] += self._size[rb]
+        self._members[ra].extend(self._members.pop(rb))
         return ra
 
     def connected(self, a: int, b: int) -> bool:
@@ -64,12 +75,50 @@ class DisjointSet:
         """Forget a *root* id that no longer labels any point.
 
         Only safe for ids that are their own representative and whose set has
-        become empty; used to keep the forest from growing without bound
-        across many window slides.
+        stayed a singleton; sets that absorbed other ids must go through
+        :meth:`retire` instead.
         """
         if self._parent.get(item) == item and self._size.get(item) == 1:
             del self._parent[item]
             del self._size[item]
+            del self._members[item]
+
+    def retire(self, item: int) -> None:
+        """Drop ``item``'s entire set from the forest.
+
+        The caller asserts that no live reference resolves through any id of
+        the set — e.g. a cluster id whose last member cores dissipated.
+        Unknown ids are ignored (the id may have been retired already, or
+        belong to a set retired through another member).
+        """
+        if item not in self._parent:
+            return
+        root = self.find(item)
+        for member in self._members.pop(root):
+            del self._parent[member]
+            del self._size[member]
+
+    def _rebuild_members(self) -> None:
+        """Recompute the per-root member lists from the parent table.
+
+        Needed after a restore that reconstructs ``_parent`` directly (the
+        checkpoint format stores only parent pointers).
+        """
+        self._members = {}
+        for item in list(self._parent):
+            self._members.setdefault(self.find(item), []).append(item)
+
+    def check_invariants(self) -> None:
+        """Internal consistency of the parent/size/member tables."""
+        roots = {item for item, parent in self._parent.items() if item == parent}
+        assert set(self._members) == roots, "member lists out of sync with roots"
+        seen: set[int] = set()
+        for root, members in self._members.items():
+            for member in members:
+                assert self.find(member) == root
+                assert member not in seen
+                seen.add(member)
+        assert seen == set(self._parent), "member lists do not cover the forest"
 
     def __len__(self) -> int:
         return len(self._parent)

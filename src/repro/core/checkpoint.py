@@ -186,6 +186,7 @@ def from_checkpoint(payload: dict) -> DISC:
         state.cids._parent = parents
         state.cids._size = {k: 1 for k in parents}  # sizes only bias unions
         state.cids._next_id = int(payload["cid_next"])
+        state.cids._rebuild_members()
     except CheckpointError:
         raise
     except (KeyError, TypeError, ValueError) as exc:

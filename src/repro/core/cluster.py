@@ -28,10 +28,15 @@ def process_ex_cores(
     *,
     multi_starter: bool = True,
     epoch_probing: bool = True,
+    trace=None,
 ) -> list[EvolutionEvent]:
     """Handle cluster evolution caused by ex-cores (Algorithm 2, lines 1-7).
 
-    Returns one event per retro-reachability class.
+    Returns one event per retro-reachability class. When ``trace`` (a
+    :class:`~repro.observability.trace.StrideTrace`) is given, it accumulates
+    the retro-class count, the Theorem-1 savings (ex-cores consolidated into
+    a class beyond its representative, each of which would have cost its own
+    connectivity check), and the checks actually issued.
     """
     params = state.params
     eps = params.eps
@@ -68,9 +73,17 @@ def process_ex_cores(
         queue: deque[int] = deque([seed])
         bonding: list[int] = []
         bonding_seen: set[int] = set()
+        # The cluster id the class belonged to, read off the first member
+        # still carrying one (exited ex-cores keep theirs until purged, so a
+        # cluster that left the window whole is covered too); a dissipating
+        # class is this id's last trace, and _resolve_ex_class retires the
+        # id with it.
+        class_cid: int | None = None
         while queue:
             rid = queue.popleft()
             rec_r = records[rid]
+            if class_cid is None and rec_r.cid is not None:
+                class_cid = state.cids.find(rec_r.cid)
             r_in_window = not rec_r.deleted
             if r_in_window:
                 # Demoted this stride: it no longer carries a core cid, and
@@ -115,6 +128,12 @@ def process_ex_cores(
             if r_in_window and rec_r.c_core > 0 and rec_r.anchor is None:
                 state.repair.add(rid)
 
+        if trace is not None:
+            trace.retro_classes += 1
+            # Theorem 1: the whole class shares one check; every member
+            # beyond the representative is a check a naive IncDBSCAN-style
+            # deletion pass would have issued.
+            trace.theorem1_skips += len(retro) - 1
         events.append(
             _resolve_ex_class(
                 state,
@@ -123,9 +142,11 @@ def process_ex_cores(
                 bonding,
                 kept,
                 split_claimed,
+                class_cid,
                 multi_starter=multi_starter,
                 epoch_probing=epoch_probing,
                 on_border=on_border,
+                trace=trace,
             )
         )
     events.extend(
@@ -137,6 +158,7 @@ def process_ex_cores(
             multi_starter=multi_starter,
             epoch_probing=epoch_probing,
             on_border=on_border,
+            trace=trace,
         )
     )
     return events
@@ -158,6 +180,7 @@ def _settle_claims(
     multi_starter: bool,
     epoch_probing: bool,
     on_border,
+    trace=None,
 ) -> list[EvolutionEvent]:
     """Ensure each retained cluster id labels exactly one component.
 
@@ -188,6 +211,8 @@ def _settle_claims(
                 live.append(rep)
         if len(live) < 2:
             continue
+        if trace is not None:
+            trace.connectivity_checks += 1
         result = check_connectivity(
             index,
             state,
@@ -195,6 +220,7 @@ def _settle_claims(
             multi_starter=multi_starter,
             epoch_probing=epoch_probing,
             on_border=on_border,
+            trace=trace,
         )
         if result.connected:
             continue
@@ -217,19 +243,29 @@ def _resolve_ex_class(
     bonding: list[int],
     kept: dict[int, list[int]],
     split_claimed: set[int],
+    class_cid: int | None,
     *,
     multi_starter: bool,
     epoch_probing: bool,
     on_border,
+    trace=None,
 ) -> EvolutionEvent:
     """Decide split / shrink / dissipate for one retro class."""
     records = state.records
     if not bonding:
+        # No bonding cores: the retro class was the entire connected core
+        # component, so nothing alive references its cluster id any more.
+        # Retire the id so the union-find forest does not keep its whole
+        # merge lineage pinned until the next compaction.
+        if class_cid is not None:
+            state.cids.retire(class_cid)
         return EvolutionEvent(EvolutionKind.DISSIPATE, trigger=seed)
     if len(bonding) == 1:
         cid = _claim(state, kept, bonding[0])
         return EvolutionEvent(EvolutionKind.SHRINK, (cid,), trigger=seed)
 
+    if trace is not None:
+        trace.connectivity_checks += 1
     result = check_connectivity(
         index,
         state,
@@ -237,6 +273,7 @@ def _resolve_ex_class(
         multi_starter=multi_starter,
         epoch_probing=epoch_probing,
         on_border=on_border,
+        trace=trace,
     )
     if result.connected:
         cid = _claim(state, kept, bonding[0])
@@ -260,7 +297,7 @@ def _resolve_ex_class(
 
 
 def process_neo_cores(
-    state: WindowState, index, neo_cores: list[int]
+    state: WindowState, index, neo_cores: list[int], *, trace=None
 ) -> list[EvolutionEvent]:
     """Handle cluster evolution caused by neo-cores (Algorithm 2, lines 9-13).
 
@@ -277,6 +314,8 @@ def process_neo_cores(
     remaining = set(neo_cores)
     while remaining:
         seed = remaining.pop()
+        if trace is not None:
+            trace.nascent_classes += 1
         group = [seed]
         seen = {seed}
         queue: deque[int] = deque([seed])

@@ -31,6 +31,8 @@ def collect(
     index,
     delta_in: Sequence[StreamPoint],
     delta_out: Sequence[StreamPoint],
+    *,
+    trace=None,
 ) -> CollectResult:
     """Run COLLECT for one stride; returns ex-cores, neo-cores and C_out.
 
@@ -146,6 +148,8 @@ def collect(
         elif is_core and not rec.was_core:
             result.neo_cores.append(pid)
     result.ex_cores.extend(result.c_out)
+    if trace is not None:
+        trace.collect_touched = len(touched)
     return result
 
 

@@ -53,6 +53,12 @@ class DISC:
             compatibility.
         multi_starter: use MS-BFS for connectivity checks (Figure 8 knob).
         epoch_probing: use epoch-based index probing (Figure 8 knob).
+        tracer: optional :class:`~repro.observability.trace.Tracer`; when
+            set, every ``advance`` produces one
+            :class:`~repro.observability.trace.StrideTrace` with phase
+            timings, algorithm counters and the index-stats delta. ``None``
+            (the default) keeps the hot path untouched — no timing calls, no
+            snapshots.
     """
 
     name = "DISC"
@@ -66,6 +72,7 @@ class DISC:
         index_factory: Callable[[], NeighborIndex] | None = None,
         multi_starter: bool = True,
         epoch_probing: bool = True,
+        tracer=None,
     ) -> None:
         self.params = ClusteringParams(
             eps, tau, index=index if isinstance(index, str) else None
@@ -79,6 +86,7 @@ class DISC:
         )
         self.multi_starter = multi_starter
         self.epoch_probing = epoch_probing
+        self.tracer = tracer
         # Compact the cluster-id forest periodically so unbounded streams do
         # not accumulate merge-redirection chains (see WindowState.compact_cids).
         self.compact_every = 256
@@ -105,19 +113,37 @@ class DISC:
         """
         state = self.state
         index = self.index
+        tracer = self.tracer
+        trace = None
+        if tracer is not None:
+            from repro.observability.trace import perf_counter
 
-        result = collect(state, index, delta_in, delta_out)
+            trace = tracer.begin()
+            stats_before = index.stats.snapshot()
+            t0 = perf_counter()
+
+        result = collect(state, index, delta_in, delta_out, trace=trace)
+        if trace is not None:
+            t1 = perf_counter()
+            trace.phases["collect"] = t1 - t0
         ex_events = process_ex_cores(
             state,
             index,
             result.ex_cores,
             multi_starter=self.multi_starter,
             epoch_probing=self.epoch_probing,
+            trace=trace,
         )
+        if trace is not None:
+            t2 = perf_counter()
+            trace.phases["split_checks"] = t2 - t1
         # Algorithm 2, line 8: exited ex-cores leave the index only now.
         for pid in result.c_out:
             index.delete(pid)
-        neo_events = process_neo_cores(state, index, result.neo_cores)
+        neo_events = process_neo_cores(state, index, result.neo_cores, trace=trace)
+        if trace is not None:
+            t3 = perf_counter()
+            trace.phases["merge_checks"] = t3 - t2
         repair_anchors(state, index)
         self._advance_generation(result)
         self._strides_since_compact += 1
@@ -125,13 +151,27 @@ class DISC:
             state.compact_cids()
             self._strides_since_compact = 0
 
-        return StrideSummary(
+        summary = StrideSummary(
             events=ex_events + neo_events,
             num_ex_cores=len(result.ex_cores),
             num_neo_cores=len(result.neo_cores),
             num_inserted=len(delta_in),
             num_deleted=len(delta_out),
         )
+        if trace is not None:
+            t4 = perf_counter()
+            trace.phases["maintenance"] = t4 - t3
+            trace.elapsed_s = t4 - t0
+            trace.num_inserted = len(delta_in)
+            trace.num_deleted = len(delta_out)
+            trace.ex_cores = len(result.ex_cores)
+            trace.neo_cores = len(result.neo_cores)
+            trace.index = index.stats.snapshot() - stats_before
+            for event in summary.events:
+                key = event.kind.value
+                trace.events[key] = trace.events.get(key, 0) + 1
+            tracer.emit(trace)
+        return summary
 
     def _advance_generation(self, result) -> None:
         """Purge exited records and roll core flags into ``was_core``."""

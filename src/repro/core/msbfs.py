@@ -65,6 +65,7 @@ def check_connectivity(
     multi_starter: bool = True,
     epoch_probing: bool = True,
     on_border: Callable[[int, int], None] | None = None,
+    trace=None,
 ) -> ConnectivityResult:
     """Count core-graph components reachable from ``seeds``.
 
@@ -78,6 +79,9 @@ def check_connectivity(
         on_border: optional callback ``(border_pid, expanding_core_pid)``
             invoked for every non-core point seen during expansion; DISC uses
             it to refresh border anchors (Section V).
+        trace: optional :class:`~repro.observability.trace.StrideTrace`;
+            when present, expansion / queue-merge / early-exit counters are
+            accumulated onto it.
 
     Returns:
         A :class:`ConnectivityResult`; traversal touches only the components
@@ -114,11 +118,26 @@ def check_connectivity(
     alive: set[int] = set(queues)
     rotation: deque[int] = deque(queues)
     expanded: set[int] = set()
-    exhausted: list[list[int]] = []
+    # Exhausted components keyed by their group root. Kept addressable (not a
+    # flat list) because a later expansion can touch an "exhausted" component
+    # — e.g. a non-core seed whose group starts expanding after a neighbouring
+    # component already ran dry — which proves the two were one component all
+    # along. Such groups are revived instead of crashing the merge
+    # bookkeeping on their missing queue.
+    dead: dict[int, list[int]] = {}
+    dead_order: list[int] = []
+
+    def retire(root: int) -> None:
+        alive.discard(root)
+        dead[root] = members.pop(root)
+        dead_order.append(root)
+        del queues[root]
 
     def expand(pid: int, group_root: int) -> int:
         """Expand one core vertex; returns the (possibly merged) group root."""
         rec = records[pid]
+        if trace is not None:
+            trace.msbfs_expansions += 1
         if epoch_probing:
             neighbours = index.ball_unvisited(rec.coords, eps, tick, should_mark)
             index.mark(pid, tick)
@@ -141,17 +160,32 @@ def check_connectivity(
                 other_root = groups.find(other)
                 root_now = groups.find(root)
                 if other_root != root_now:
+                    if other_root in dead:
+                        # Contact with an exhausted group proves it never
+                        # was a separate component: bring it back before
+                        # the union so queue/member bookkeeping (and the
+                        # final component count) stay consistent.
+                        members[other_root] = dead.pop(other_root)
+                        dead_order.remove(other_root)
+                        queues[other_root] = deque()
+                        alive.add(other_root)
                     winner = groups.union(other_root, root_now)
                     loser = other_root if winner == root_now else root_now
                     queues[winner].extend(queues.pop(loser))
                     members[winner].extend(members.pop(loser))
                     alive.discard(loser)
                     root = winner
+                    if trace is not None:
+                        trace.msbfs_queue_merges += 1
             elif on_border is not None:
                 on_border(qid, pid)
         return root
 
     while len(alive) > 1:
+        if not rotation:
+            # Starvation guard: every live group must stay reachable from
+            # the rotation even if its original entry was consumed as stale.
+            rotation.extend(sorted(alive))
         gid = rotation.popleft()
         root = groups.find(gid)
         if root != gid or root not in alive:
@@ -161,9 +195,7 @@ def check_connectivity(
         while queue and queue[0] in expanded:
             queue.popleft()
         if not queue:
-            alive.discard(root)
-            exhausted.append(members.pop(root))
-            del queues[root]
+            retire(root)
             continue
         if multi_starter:
             pid = queue.popleft()
@@ -176,9 +208,7 @@ def check_connectivity(
                 while queue and queue[0] in expanded:
                     queue.popleft()
                 if not queue:
-                    alive.discard(root)
-                    exhausted.append(members.pop(root))
-                    del queues[root]
+                    retire(root)
                     break
                 pid = queue.popleft()
                 expanded.add(pid)
@@ -189,9 +219,13 @@ def check_connectivity(
 
     survivor_root = next(iter(alive))
     survivor = members.pop(survivor_root)
+    if trace is not None and any(
+        pid not in expanded for pid in queues[survivor_root]
+    ):
+        trace.msbfs_early_exits += 1
     return ConnectivityResult(
-        num_components=len(exhausted) + 1,
-        exhausted=exhausted,
+        num_components=len(dead_order) + 1,
+        exhausted=[dead[root] for root in dead_order],
         survivor=survivor,
     )
 

@@ -129,11 +129,15 @@ class EpochAdapter(NeighborIndex):
         """
         epochs = self._epochs
         results = []
+        pruned = 0
         for pid, coords in self.inner.ball(center, radius):
             if epochs[pid] < tick:
                 if should_mark is None or should_mark(pid):
                     epochs[pid] = tick
                 results.append((pid, coords))
+            else:
+                pruned += 1
+        self.inner.stats.epoch_prunes += pruned
         return results
 
     def mark(self, pid: int, tick: int) -> None:

@@ -146,6 +146,7 @@ class GridIndex(NeighborIndex):
         dist = math.dist
         for key in self.neighbour_cells(self.cell_of(center)):
             cell = self._cells[key]
+            self.stats.nodes_accessed += 1  # one occupied cell visited
             self.stats.entries_scanned += len(cell)
             for pid, coords in cell.items():
                 if dist(coords, center) <= radius:

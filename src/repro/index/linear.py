@@ -54,6 +54,7 @@ class LinearScanIndex(NeighborIndex):
     def ball(self, center: Sequence[float], radius: float) -> list[tuple[int, Coords]]:
         """All points within ``radius`` of ``center`` (inclusive)."""
         self.stats.range_searches += 1
+        self.stats.nodes_accessed += 1  # the flat point table is one "node"
         center = tuple(center)
         results = []
         dist = math.dist
@@ -70,6 +71,7 @@ class LinearScanIndex(NeighborIndex):
         if k < 1:
             raise IndexError_(f"k must be >= 1, got {k}")
         self.stats.range_searches += 1
+        self.stats.nodes_accessed += 1
         center = tuple(center)
         dist = math.dist
         self.stats.entries_scanned += len(self._points)
@@ -96,16 +98,22 @@ class LinearScanIndex(NeighborIndex):
         its pid; unmarked points keep being returned.
         """
         self.stats.range_searches += 1
+        self.stats.nodes_accessed += 1
         center = tuple(center)
         results = []
         epochs = self._epochs
         dist = math.dist
+        pruned = 0
         self.stats.entries_scanned += len(self._points)
         for pid, coords in self._points.items():
-            if epochs[pid] < tick and dist(coords, center) <= radius:
+            if epochs[pid] >= tick:
+                pruned += 1  # skipped by the epoch filter before the distance test
+                continue
+            if dist(coords, center) <= radius:
                 if should_mark is None or should_mark(pid):
                     epochs[pid] = tick
                 results.append((pid, coords))
+        self.stats.epoch_prunes += pruned
         return results
 
     def mark(self, pid: int, tick: int) -> None:

@@ -206,6 +206,23 @@ class RTree(NeighborIndex):
         for pid, coords in items:
             self.insert(pid, coords)
 
+    def _rebalance_tail(self, pages: list[list]) -> list[list]:
+        """Fix up a trailing page smaller than ``min_entries``.
+
+        Merges it into its predecessor when the result still fits in one
+        node, otherwise resplits the pair evenly (both halves are legal:
+        ``min_entries <= max_entries / 2`` is enforced at construction).
+        """
+        if len(pages) > 1 and len(pages[-1]) < self._min:
+            spill = pages.pop()
+            merged = pages.pop() + spill
+            if len(merged) <= self._max:
+                pages.append(merged)
+            else:
+                half = len(merged) // 2
+                pages.extend([merged[:half], merged[half:]])
+        return pages
+
     def _str_slices(self, items: list, dim: int, key_dim: int) -> list[list]:
         """Recursively tile ``items`` by successive coordinate dimensions."""
         capacity = self._max
@@ -214,13 +231,7 @@ class RTree(NeighborIndex):
             pages = [
                 items[i : i + capacity] for i in range(0, len(items), capacity)
             ]
-            if len(pages) > 1 and len(pages[-1]) < self._min:
-                # Rebalance the trailing page so no node is underfull.
-                spill = pages.pop()
-                merged = pages.pop() + spill
-                half = len(merged) // 2
-                pages.extend([merged[:half], merged[half:]])
-            return pages
+            return self._rebalance_tail(pages)
         import math as _math
 
         n_pages = _math.ceil(len(items) / capacity)
@@ -233,7 +244,9 @@ class RTree(NeighborIndex):
             groups.extend(
                 self._str_slices(items[i : i + per_slab], dim, key_dim + 1)
             )
-        return groups
+        # A short trailing slab packs into a single underfull page that the
+        # per-slab rebalance cannot see; fix it against the previous slab.
+        return self._rebalance_tail(groups)
 
     def _str_pack_entries(self, entries: list[_Entry], dim: int) -> list[_Node]:
         keyed = [(entry.coords, entry) for entry in entries]
@@ -594,7 +607,11 @@ class RTree(NeighborIndex):
             self.stats.entries_scanned += len(node.children)
             dist = math.dist
             for entry in node.children:
-                if entry.epoch < tick and dist(entry.coords, center) <= radius:
+                if entry.epoch >= tick:
+                    # Already visited this epoch: skipped before the distance
+                    # test even runs.
+                    self.stats.epoch_prunes += 1
+                elif dist(entry.coords, center) <= radius:
                     if should_mark is None or should_mark(entry.pid):
                         entry.epoch = tick
                     out.append((entry.pid, entry.coords))
@@ -605,7 +622,11 @@ class RTree(NeighborIndex):
         min_epoch = tick
         r_sq = radius * radius
         for child in node.children:
-            if child.epoch < tick:
+            if child.epoch >= tick:
+                # Fully visited subtree: pruned without descending — the
+                # payoff Algorithm 4 exists for.
+                self.stats.epoch_prunes += 1
+            else:
                 # geo.mindist_sq inlined (hot path, see ball()).
                 min_sq = 0.0
                 for lo, hi, x in zip(child.lows, child.highs, center):

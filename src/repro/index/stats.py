@@ -3,12 +3,27 @@
 The paper's Figure 7 reports the *number of range searches* executed by each
 method; every index in this library funnels its searches through an
 :class:`IndexStats` so benches can read the counts without instrumenting the
-algorithms themselves.
+algorithms themselves. The finer-grained counters back the per-stride trace
+layer (:mod:`repro.observability`): ``nodes_accessed`` and
+``entries_scanned`` measure how much index structure a search touched, and
+``epoch_prunes`` counts candidates suppressed by epoch-based probing
+(Algorithm 4) — subtrees on the R-tree, individual points on the filtering
+backends — so Figure 8's ablation can be read straight off the counters.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+#: Counter names, in rendering order; shared by snapshots, traces and sinks.
+FIELDS = (
+    "range_searches",
+    "nodes_accessed",
+    "entries_scanned",
+    "inserts",
+    "deletes",
+    "epoch_prunes",
+)
 
 
 @dataclass
@@ -20,6 +35,7 @@ class IndexStats:
     entries_scanned: int = 0
     inserts: int = 0
     deletes: int = 0
+    epoch_prunes: int = 0
 
     def reset(self) -> None:
         """Zero every counter."""
@@ -28,6 +44,7 @@ class IndexStats:
         self.entries_scanned = 0
         self.inserts = 0
         self.deletes = 0
+        self.epoch_prunes = 0
 
     def snapshot(self) -> "IndexStats":
         """Return an independent copy of the current counters."""
@@ -37,7 +54,12 @@ class IndexStats:
             entries_scanned=self.entries_scanned,
             inserts=self.inserts,
             deletes=self.deletes,
+            epoch_prunes=self.epoch_prunes,
         )
+
+    def as_dict(self) -> dict[str, int]:
+        """JSON-friendly form, in :data:`FIELDS` order."""
+        return {name: getattr(self, name) for name in FIELDS}
 
     def __sub__(self, other: "IndexStats") -> "IndexStats":
         return IndexStats(
@@ -46,4 +68,5 @@ class IndexStats:
             entries_scanned=self.entries_scanned - other.entries_scanned,
             inserts=self.inserts - other.inserts,
             deletes=self.deletes - other.deletes,
+            epoch_prunes=self.epoch_prunes - other.epoch_prunes,
         )

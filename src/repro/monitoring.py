@@ -12,7 +12,13 @@ per-stride output into debounced anomaly reports:
 - it is *reported* once it has stayed noise for ``confirm_strides``
   consecutive strides (new points often start as noise simply because their
   neighbourhood has not arrived yet — debouncing removes that churn);
-- a report is *retracted* automatically if the point later joins a cluster.
+- a report is *retracted* automatically if the point later joins a cluster;
+- a report is *expired* when its point leaves the clusterer's snapshot —
+  however it left. Departures listed in ``delta_out`` are the common route,
+  but a resilient runtime can drop points through other doors (dead-letter
+  quarantine, a rebuild after an invariant failure, a checkpoint restore to
+  an earlier stride), so expiry reconciles against snapshot membership
+  rather than trusting the delta alone.
 """
 
 from __future__ import annotations
@@ -26,11 +32,17 @@ from repro.common.snapshot import Category
 
 @dataclass
 class AnomalyReport:
-    """Anomalies confirmed / retracted by one window advance."""
+    """Anomalies confirmed / retracted / expired by one window advance.
+
+    ``expired`` lists previously reported anomalies whose points are no
+    longer tracked by the clusterer at all (left the window or were evicted
+    by the runtime); they were neither vindicated nor retracted.
+    """
 
     stride: int
     confirmed: list[int] = field(default_factory=list)
     retracted: list[int] = field(default_factory=list)
+    expired: list[int] = field(default_factory=list)
 
 
 class AnomalyMonitor:
@@ -69,8 +81,9 @@ class AnomalyMonitor:
             self._noise_streak.pop(pid, None)
             self._reported.discard(pid)
 
+        categories = snapshot.categories
         still_noise: dict[int, int] = {}
-        for pid, category in snapshot.categories.items():
+        for pid, category in categories.items():
             if category is Category.NOISE:
                 streak = self._noise_streak.get(pid, 0) + 1
                 still_noise[pid] = streak
@@ -81,10 +94,18 @@ class AnomalyMonitor:
                 # A previously reported anomaly joined a cluster after all.
                 self._reported.discard(pid)
                 report.retracted.append(pid)
+        # Reconcile against snapshot membership: a reported point the
+        # clusterer no longer tracks — evicted through any route that never
+        # appeared in delta_out — must not stand as an anomaly forever.
+        for pid in list(self._reported):
+            if pid not in categories:
+                self._reported.discard(pid)
+                report.expired.append(pid)
         self._noise_streak = still_noise
         self._stride += 1
         report.confirmed.sort()
         report.retracted.sort()
+        report.expired.sort()
         return report
 
     @property

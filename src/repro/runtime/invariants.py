@@ -119,4 +119,7 @@ def rebuild(disc: DISC) -> DISC:
         if not rec.deleted
     ]
     fresh.advance(points, ())
+    # Attached only after the bulk re-insert so the trace keeps its
+    # one-record-per-stream-stride shape.
+    fresh.tracer = disc.tracer
     return fresh

@@ -64,6 +64,11 @@ class Supervisor:
         stats: counters object to use; a fresh one is created when omitted.
         hooks: :class:`~repro.runtime.chaos.RuntimeHooks` for observation
             or fault injection.
+        tracer: optional :class:`~repro.observability.trace.Tracer`; the
+            supervised DISC emits one stride trace per advance, across fresh
+            starts and checkpoint restores alike. Tracer state is *not*
+            checkpointed — a resumed run's trace starts at stride 0 of the
+            resumed process.
         check_invariants: after every stride, verify n_eps consistency,
             anchor validity and cid-forest acyclicity; on violation log a
             warning and degrade to a full re-cluster of the window instead
@@ -88,6 +93,7 @@ class Supervisor:
         stats: RuntimeStats | None = None,
         hooks: RuntimeHooks | None = None,
         check_invariants: bool = False,
+        tracer=None,
     ) -> None:
         if checkpoint_every < 1:
             raise ConfigurationError(
@@ -115,6 +121,7 @@ class Supervisor:
         self.guard = InputGuard(policy, self.stats, self.dead_letter)
         self.hooks = hooks if hooks is not None else RuntimeHooks()
         self.check_invariants = check_invariants
+        self.tracer = tracer
 
         self.clusterer: DISC | None = None
         self.stride = 0  # next stride index to process
@@ -156,6 +163,7 @@ class Supervisor:
                 index=self.index,
                 multi_starter=self.multi_starter,
                 epoch_probing=self.epoch_probing,
+                tracer=self.tracer,
             )
             cursor = WindowCursor(self.spec, self.time_based)
             self.stride = 0
@@ -256,6 +264,9 @@ class Supervisor:
             )
         try:
             self.clusterer = core_checkpoint.from_checkpoint(payload["disc"])
+            # The checkpoint does not carry tracer state; re-attach ours so
+            # a resumed run keeps emitting.
+            self.clusterer.tracer = self.tracer
             cursor = WindowCursor.from_state(payload["cursor"])
             self.guard.restore_state(payload["guard"])
             self.stats.restore(payload["stats"])

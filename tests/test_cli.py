@@ -189,3 +189,51 @@ class TestCompare:
         for name in ("DISC", "IncDBSCAN", "EXTRA-N", "DBSCAN",
                      "rho2-DBSCAN", "DBSTREAM", "EDMSTREAM"):
             assert name in out
+
+
+class TestObservabilityFlags:
+    BASE = ["cluster", "--eps", "0.8", "--tau", "4",
+            "--window", "300", "--stride", "60"]
+
+    def test_trace_and_metrics_round_trip(self, maze_csv, tmp_path, capsys):
+        from repro.observability import validate_trace_file
+
+        trace = str(tmp_path / "trace.jsonl")
+        prom = str(tmp_path / "disc.prom")
+        code = main(
+            self.BASE
+            + ["--input", maze_csv, "--trace", trace, "--metrics-out", prom]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out  # end-of-run operator report
+        assert "index:" in out
+        strides = validate_trace_file(trace)  # schema-valid JSONL
+        assert strides == 10  # 600 points / 60-point strides, fill included
+        text = open(prom).read()
+        assert f"disc_strides_total {strides}" in text
+        assert 'disc_counter_total{counter="msbfs_expansions"}' in text
+
+    def test_trace_requires_disc(self, maze_csv, tmp_path, capsys):
+        code = main(
+            self.BASE
+            + ["--input", maze_csv, "--method", "dbscan",
+               "--trace", str(tmp_path / "t.jsonl")]
+        )
+        assert code == 1
+        assert "--method disc" in capsys.readouterr().err
+
+    def test_trace_with_resilient_runtime(self, maze_csv, tmp_path, capsys):
+        from repro.observability import validate_trace_file
+
+        trace = str(tmp_path / "trace.jsonl")
+        code = main(
+            self.BASE
+            + ["--input", maze_csv, "--checkpoint-dir",
+               str(tmp_path / "ckpt"), "--trace", trace]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "input:" in out  # runtime block ...
+        assert "trace:" in out  # ... merged with the trace block
+        assert validate_trace_file(trace) == 10

@@ -76,3 +76,123 @@ class TestDisjointSet:
             ds.union(left, right)
         root = ds.find(ids[0])
         assert all(ds.find(i) == root for i in ids)
+
+
+class TestRetire:
+    def test_retire_removes_whole_set(self):
+        ds = DisjointSet()
+        a, b, c = ds.make(), ds.make(), ds.make()
+        ds.union(a, b)
+        ds.retire(a)
+        assert len(ds) == 1  # only c remains
+        assert ds.find(c) == c
+
+    def test_retire_accepts_any_member(self):
+        ds = DisjointSet()
+        ids = [ds.make() for _ in range(5)]
+        for left, right in zip(ids, ids[1:]):
+            ds.union(left, right)
+        ds.retire(ids[3])  # not necessarily the root
+        assert len(ds) == 0
+
+    def test_retire_unknown_id_is_noop(self):
+        ds = DisjointSet()
+        ds.make()
+        ds.retire(999)
+        assert len(ds) == 1
+
+    def test_retire_twice_is_noop(self):
+        ds = DisjointSet()
+        a, b = ds.make(), ds.make()
+        ds.union(a, b)
+        ds.retire(a)
+        ds.retire(b)
+        assert len(ds) == 0
+
+    def test_retired_ids_can_be_readopted_by_find(self):
+        ds = DisjointSet()
+        a = ds.make()
+        ds.retire(a)
+        assert ds.find(a) == a  # re-registered as a fresh singleton
+        assert len(ds) == 1
+
+    def test_make_after_retire_never_reuses_ids(self):
+        ds = DisjointSet()
+        a = ds.make()
+        ds.retire(a)
+        assert ds.make() != a
+
+    def test_invariants_through_mixed_workload(self):
+        import random
+
+        rng = random.Random(7)
+        ds = DisjointSet()
+        live = [ds.make() for _ in range(20)]
+        for _ in range(300):
+            op = rng.random()
+            if op < 0.4 and len(live) >= 2:
+                a, b = rng.sample(live, 2)
+                ds.union(a, b)
+            elif op < 0.6:
+                live.append(ds.make())
+            elif op < 0.8 and live:
+                victim = rng.choice(live)
+                root = ds.find(victim)
+                live = [i for i in live if ds.find(i) != root]
+                ds.retire(victim)
+            elif live:
+                ds.discard(rng.choice(live))
+                live = [i for i in live if ds.find(i) in ds._parent or True]
+            ds.check_invariants()
+
+    def test_discard_keeps_member_lists_consistent(self):
+        ds = DisjointSet()
+        lone = ds.make()
+        ds.discard(lone)
+        ds.check_invariants()
+        assert len(ds) == 0
+
+
+class TestBoundedForest:
+    def test_dissipation_retires_cluster_ids(self):
+        """A stream of emerge/dissipate cycles must not grow the forest.
+
+        Pre-fix, every dissipated cluster left its (possibly merged) ids in
+        the forest forever: ``discard`` only reclaims singleton roots, and
+        the ids of a cluster that ever absorbed another via MERGE stayed
+        pinned until compaction. The run stays far below DISC's
+        ``compact_every`` so any bound proven here comes from retirement
+        alone.
+        """
+        from repro.common.points import StreamPoint
+        from repro.core.disc import DISC
+
+        disc = DISC(eps=1.0, tau=3)
+        assert disc.compact_every > 100  # compaction must not interfere
+        pid = 0
+        sizes = []
+        for cycle in range(100):
+            # Two small blobs appear, bridge together (MERGE), then leave.
+            blob_a = [
+                StreamPoint(pid + i, (0.0 + 0.3 * i, 0.0), float(cycle))
+                for i in range(4)
+            ]
+            blob_b = [
+                StreamPoint(pid + 4 + i, (3.0 + 0.3 * i, 0.0), float(cycle))
+                for i in range(4)
+            ]
+            disc.advance(blob_a, ())
+            disc.advance(blob_b, ())
+            bridge = [
+                StreamPoint(pid + 8 + i, (1.2 + 0.4 * i, 0.0), float(cycle))
+                for i in range(5)
+            ]
+            disc.advance(bridge, ())
+            everyone = blob_a + blob_b + bridge
+            disc.advance((), everyone)  # entire cluster dissipates
+            pid += len(everyone)
+            sizes.append(len(disc.state.cids))
+        # The forest must stay bounded by a small constant, not grow with
+        # the number of cycles.
+        assert max(sizes[10:]) <= max(sizes[:10]) + 2, sizes
+        disc.state.cids.check_invariants()

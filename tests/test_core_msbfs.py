@@ -6,6 +6,7 @@ match the actual core graph — under every combination of the multi-starter
 and epoch-probing flags.
 """
 
+import math
 import random
 
 import networkx as nx
@@ -282,3 +283,132 @@ class TestCollectComponent:
         assert state.cids.find(state.records[0].cid) == state.cids.find(
             state.records[11].cid
         )
+
+
+class TestExhaustedGroupRevival:
+    """Regression: contact with an already-exhausted group must revive it.
+
+    With ``multi_starter=False`` the classic arm runs each seed's BFS to
+    exhaustion before the next one starts.  A later seed whose expansion
+    touches a core owned by an exhausted group used to pick that dead root
+    as the union winner and crash on its already-deleted queue (KeyError).
+    The fix keeps exhausted groups addressable and revives one on contact.
+    """
+
+    # Component X: a core chain.  Pid 3 sits within eps of X's edge but is
+    # not core itself (n_eps = 2 < tau), so as a *seed* it starts its own
+    # group which only discovers X after X's group has been exhausted.
+    # Component Y is far away and supplies the surviving group.
+    POINTS = [
+        (0, (0.0, 0.0)),
+        (1, (0.25, 0.0)),
+        (2, (0.5, 0.0)),
+        (3, (0.95, 0.0)),
+        (100, (50.0, 0.0)),
+        (101, (50.25, 0.0)),
+        (102, (50.5, 0.0)),
+    ]
+    SEEDS = [0, 3, 100, 102]
+
+    def _check(self, epoch):
+        state, index = build_state(self.POINTS, 0.5, 3)
+        return check_connectivity(
+            index, state, self.SEEDS, multi_starter=False, epoch_probing=epoch
+        )
+
+    @pytest.mark.parametrize("epoch", [True, False])
+    def test_late_contact_with_exhausted_group_does_not_crash(self, epoch):
+        result = self._check(epoch)  # pre-fix: KeyError when epoch is off
+        assert sorted(result.survivor) == [100, 101, 102]
+        exhausted = {pid for comp in result.exhausted for pid in comp}
+        assert {0, 1, 2} <= exhausted
+        assert result.num_components == len(result.exhausted) + 1
+
+    def test_revived_component_is_complete(self):
+        # With epoch probing off, pid 3's expansion re-discovers X's cores,
+        # so its group merges back into the revived X component.
+        result = self._check(epoch=False)
+        assert result.num_components == 2
+        assert [sorted(comp) for comp in result.exhausted] == [[0, 1, 2, 3]]
+
+    def test_epoch_probing_filters_the_late_contact(self):
+        # With epoch probing on, X's cores were already visited when pid 3
+        # expands, so the late group exhausts alone instead of merging.
+        result = self._check(epoch=True)
+        assert result.num_components == 3
+
+
+class TestAdversarialMergeOrders:
+    """Randomised seed orders (cores and non-cores) never crash either arm.
+
+    Stress for the rotation-starvation guard and the exhausted-group
+    revival path: many seeds per component, shuffled so that merges hit
+    groups in unpredictable states, over chain / grid / ring geometries.
+    """
+
+    @staticmethod
+    def geometries():
+        chain = [(i, (i * 0.4, 0.0)) for i in range(12)]
+        grid = [
+            (r * 5 + c, (c * 0.45, r * 0.45))
+            for r in range(5)
+            for c in range(5)
+        ]
+        ring = [
+            (i, (3.0 + 2.0 * math.cos(i * 0.5236),
+                 3.0 + 2.0 * math.sin(i * 0.5236)))
+            for i in range(12)
+        ]
+        two_blobs = chain + [(100 + i, (20.0 + i * 0.4, 0.0)) for i in range(8)]
+        return [chain, grid, ring, two_blobs]
+
+    @pytest.mark.parametrize("multi_starter,epoch", FLAG_GRID)
+    def test_shuffled_mixed_seeds_never_crash(self, multi_starter, epoch):
+        for geom_id, points in enumerate(self.geometries()):
+            graph, cores = core_graph(points, 0.5, 3)
+            for trial in range(12):
+                rng = random.Random(1000 * geom_id + trial)
+                pool = [pid for pid, _ in points]
+                k = rng.randint(2, min(8, len(pool)))
+                seeds = rng.sample(pool, k)
+                rng.shuffle(seeds)
+                state, index = build_state(points, 0.5, 3)
+                result = check_connectivity(
+                    index,
+                    state,
+                    seeds,
+                    multi_starter=multi_starter,
+                    epoch_probing=epoch,
+                )
+                assert result.num_components == len(result.exhausted) + 1
+                # Exhausted components and the survivor partition what was
+                # reached: no pid appears twice.
+                reached = list(result.survivor)
+                for comp in result.exhausted:
+                    reached.extend(comp)
+                assert len(reached) == len(set(reached))
+
+    @pytest.mark.parametrize("multi_starter,epoch", FLAG_GRID)
+    def test_core_only_shuffles_match_networkx(self, multi_starter, epoch):
+        for geom_id, points in enumerate(self.geometries()):
+            graph, cores = core_graph(points, 0.5, 3)
+            if not cores:
+                continue
+            for trial in range(8):
+                rng = random.Random(7000 + 1000 * geom_id + trial)
+                k = rng.randint(1, min(8, len(cores)))
+                seeds = rng.sample(sorted(cores), k)
+                rng.shuffle(seeds)
+                expected = {
+                    frozenset(nx.node_connected_component(graph, s))
+                    for s in seeds
+                }
+                state, index = build_state(points, 0.5, 3)
+                result = check_connectivity(
+                    index,
+                    state,
+                    seeds,
+                    multi_starter=multi_starter,
+                    epoch_probing=epoch,
+                )
+                assert result.num_components == len(expected)

@@ -280,3 +280,61 @@ class TestStats:
         backend.ball_many(centers, EPS)
         backend.count_ball_many(centers, EPS)
         assert backend.stats.range_searches == before + 14
+
+    def test_every_backend_counts_search_work(self, backend):
+        """ball on a non-empty index must move all three search counters."""
+        points = cloud(60, seed=19)
+        backend.insert_many(points)
+        before = backend.stats.snapshot()
+        for _, coords in points[:5]:
+            backend.ball(coords, EPS)
+        delta = backend.stats.snapshot() - before
+        assert delta.range_searches == 5
+        # The search visited *some* structure and scanned *some* entries —
+        # a backend that reports zero work for a hit-producing search is
+        # not instrumented.
+        assert delta.nodes_accessed > 0
+        assert delta.entries_scanned > 0
+
+    def test_inserts_and_deletes_counted(self, backend):
+        points = cloud(30, seed=20)
+        backend.insert_many(points)
+        assert backend.stats.inserts == 30
+        backend.delete_many([pid for pid, _ in points[:10]])
+        assert backend.stats.deletes == 10
+
+    def test_snapshot_sub_round_trip(self, backend):
+        from repro.index.stats import FIELDS, IndexStats
+
+        points = cloud(50, seed=21)
+        backend.insert_many(points)
+        before = backend.stats.snapshot()
+        backend.ball(points[0][1], EPS)
+        backend.delete(points[0][0])
+        after = backend.stats.snapshot()
+        delta = after - before
+        assert isinstance(delta, IndexStats)
+        # snapshot is an independent copy: mutating the live stats must not
+        # retro-change it.
+        backend.ball(points[1][1], EPS)
+        assert after.range_searches == before.range_searches + 1
+        # before + delta == after, field by field (epoch_prunes included).
+        for name in FIELDS:
+            assert getattr(before, name) + getattr(delta, name) == getattr(
+                after, name
+            )
+        assert set(delta.as_dict()) == set(FIELDS)
+
+    def test_epoch_prunes_counted_on_every_backend(self, backend):
+        """Probing the same ball twice in one tick prunes on the second."""
+        index = with_epochs(backend)
+        points = cloud(40, seed=22)
+        index.insert_many(points)
+        stats = backend.stats  # adapter shares the inner backend's stats
+        tick = index.new_tick()
+        center = points[0][1]
+        first = index.ball_unvisited(center, EPS, tick)
+        assert len(first) > 1
+        before = stats.epoch_prunes
+        index.ball_unvisited(center, EPS, tick)
+        assert stats.epoch_prunes >= before + len(first)

@@ -221,3 +221,33 @@ class TestEpochProbing:
                     p for p, _ in oracle.ball_unvisited(center, 1.5, t_oracle)
                 }
                 assert got == want
+
+
+class TestBulkLoadShape:
+    """STR packing must never produce an underfull node.
+
+    Regression: a short trailing slab in the recursive tiling used to pack
+    into a single page with fewer than ``min_entries`` entries — the
+    per-slab rebalance only fires within the final dimension's run.
+    """
+
+    def test_no_underfull_nodes_across_sizes(self):
+        for seed in (0, 7, 21):
+            for n in range(2, 70):
+                tree = RTree()
+                tree.insert_many(random_points(seed, n, span=6.0))
+                tree.check_invariants()  # n=17 was underfull pre-fix
+
+    def test_bulk_load_queries_match_incremental(self):
+        points = random_points(21, 50, span=6.0)
+        packed = RTree()
+        packed.insert_many(points)
+        grown = RTree()
+        for pid, coords in points:
+            grown.insert(pid, coords)
+        rng = random.Random(99)
+        for _ in range(25):
+            center = (rng.uniform(0.0, 6.0), rng.uniform(0.0, 6.0))
+            assert sorted(packed.ball(center, 0.75)) == sorted(
+                grown.ball(center, 0.75)
+            )

@@ -113,3 +113,88 @@ class TestNetflowSim:
         recall = true_positives / max(1, len(truth))
         assert precision > 0.85
         assert recall > 0.8
+
+
+class _FakeSnapshot:
+    def __init__(self, categories):
+        self.categories = categories
+
+
+class _ScriptedClusterer:
+    """A clusterer whose snapshot is set directly by the test."""
+
+    def __init__(self):
+        self.categories = {}
+
+    def advance(self, delta_in, delta_out=()):
+        return None
+
+    def snapshot(self):
+        return _FakeSnapshot(dict(self.categories))
+
+
+class TestReportedSetReconciliation:
+    """Reported anomalies must not outlive their points (the leak fix).
+
+    A resilient runtime can evict points without them ever appearing in the
+    monitor's ``delta_out`` — dead-letter quarantine, an invariant-failure
+    rebuild, a checkpoint restore. Pre-fix, such a point stayed in the
+    monitor's reported set forever.
+    """
+
+    def _confirm(self, monitor, clusterer, pid):
+        from repro.common.snapshot import Category
+
+        clusterer.categories = {pid: Category.NOISE}
+        monitor.advance((), ())
+        report = monitor.advance((), ())
+        assert report.confirmed == [pid]
+        return monitor
+
+    def test_evicted_anomaly_expires(self):
+        clusterer = _ScriptedClusterer()
+        monitor = AnomalyMonitor(clusterer, confirm_strides=2)
+        self._confirm(monitor, clusterer, 7)
+        # The clusterer silently drops the point: no delta_out, no category.
+        clusterer.categories = {}
+        report = monitor.advance((), ())
+        assert report.expired == [7]
+        assert 7 not in monitor.active_anomalies
+        # And it stays gone on subsequent strides.
+        assert monitor.advance((), ()).expired == []
+
+    def test_delta_out_departure_is_not_expired(self):
+        clusterer = _ScriptedClusterer()
+        monitor = AnomalyMonitor(clusterer, confirm_strides=2)
+        self._confirm(monitor, clusterer, 7)
+        clusterer.categories = {}
+        report = monitor.advance((), [sp(7, 50.0, 50.0)])
+        # Departures announced via delta_out are ordinary forgetting, not
+        # expiry.
+        assert report.expired == []
+        assert 7 not in monitor.active_anomalies
+
+    def test_retraction_still_wins_over_expiry(self):
+        from repro.common.snapshot import Category
+
+        clusterer = _ScriptedClusterer()
+        monitor = AnomalyMonitor(clusterer, confirm_strides=2)
+        self._confirm(monitor, clusterer, 7)
+        clusterer.categories = {7: Category.CORE}
+        report = monitor.advance((), ())
+        assert report.retracted == [7]
+        assert report.expired == []
+
+    def test_expired_with_real_disc_rebuild_path(self):
+        """End-to-end: supervisor rebuild drops points past the monitor."""
+        clusterer = _ScriptedClusterer()
+        monitor = AnomalyMonitor(clusterer, confirm_strides=1)
+        from repro.common.snapshot import Category
+
+        clusterer.categories = {1: Category.NOISE, 2: Category.NOISE}
+        report = monitor.advance((), ())
+        assert report.confirmed == [1, 2]
+        clusterer.categories = {2: Category.NOISE}
+        report = monitor.advance((), ())
+        assert report.expired == [1]
+        assert monitor.active_anomalies == frozenset({2})
