@@ -1,0 +1,126 @@
+"""Serving throughput and query latency under multi-tenant load.
+
+Boots the real asyncio serve stack (ClusterService + TCP server) in one
+process, then drives it with ``repro.serve.loadgen``: 4 concurrent tenants,
+each with its own connection and deterministic dataset stream, interleaving
+INGEST frames with pid- and coords-queries. The aggregate — ingest
+points/sec plus query p50/p95 — lands in
+``benchmarks/results/BENCH_serve.json`` so CI can archive serving capacity
+next to the kernel benchmarks.
+
+No latency assertion gates the numbers (shared runners jitter); what *is*
+asserted is the subsystem's core promise: every tenant's final served
+snapshot is byte-identical to an offline ``api.cluster_stream`` run over
+the same stream.
+"""
+
+import asyncio
+import json
+import os
+
+from repro.api import cluster_stream
+from repro.common.config import WindowSpec
+from repro.bench.reporting import RESULTS_DIR, write_result
+from repro.datasets.registry import DATASETS
+from repro.serve.client import ServeClient
+from repro.serve.config import SessionConfig
+from repro.serve.loadgen import run_loadgen, tenant_stream
+from repro.serve.server import run_server
+from repro.serve.service import ClusterService
+
+N_TENANTS = 4
+POINTS_PER_TENANT = 2000
+DATASET = "maze"
+BATCH = 50
+
+
+def serve_config() -> SessionConfig:
+    info = DATASETS[DATASET]
+    return SessionConfig(
+        eps=info.eps,
+        tau=info.tau,
+        window=info.window,
+        stride=max(1, info.window // 10),
+        backpressure="block",
+    )
+
+
+async def _bench() -> dict:
+    """One event loop hosting both the server and the load generator."""
+    service = ClusterService()
+    ready, stop = asyncio.Event(), asyncio.Event()
+    server = asyncio.create_task(
+        run_server(service, "127.0.0.1", 0, ready=ready, stop=stop)
+    )
+    await asyncio.wait_for(ready.wait(), timeout=10)
+    config = serve_config()
+    try:
+        report = await run_loadgen(
+            "127.0.0.1",
+            service.port,
+            tenants=N_TENANTS,
+            points_per_tenant=POINTS_PER_TENANT,
+            dataset=DATASET,
+            config=config,
+            batch=BATCH,
+            query_every=1,
+            flush_tail=True,
+        )
+        # Correctness gate: each tenant's served snapshot == offline run.
+        spec = WindowSpec(window=config.window, stride=config.stride)
+        async with await ServeClient.connect("127.0.0.1", service.port) as client:
+            for i in range(N_TENANTS):
+                points = tenant_stream(DATASET, POINTS_PER_TENANT, i, 0)
+                served = await client.snapshot(f"tenant-{i}")
+                last = None
+                for snapshot, _ in cluster_stream(
+                    points, spec, eps=config.eps, tau=config.tau
+                ):
+                    last = snapshot
+                expected = {str(pid): cid for pid, cid in last.labels.items()}
+                assert served["labels"] == expected, (
+                    f"tenant-{i}: served labels diverged from offline"
+                )
+    finally:
+        stop.set()
+        await asyncio.wait_for(server, timeout=30)
+    return report
+
+
+def run_serve_bench() -> tuple[dict, str]:
+    report = asyncio.run(_bench())
+    report.pop("tenants_detail", None)
+    payload = {
+        "workload": f"{DATASET} x {N_TENANTS} tenants, "
+        f"{POINTS_PER_TENANT} points each, batch {BATCH}",
+        "offline_equivalence": "verified",
+        **report,
+    }
+    path = os.path.join(os.path.abspath(RESULTS_DIR), "BENCH_serve.json")
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return payload, path
+
+
+def test_serve_throughput(benchmark):
+    payload, path = benchmark.pedantic(run_serve_bench, rounds=1, iterations=1)
+    lines = [
+        f"Serving ({payload['workload']}):",
+        f"  ingest: {payload['accepted_total']} points in "
+        f"{payload['wall_seconds']:.2f}s "
+        f"({payload['ingest_points_per_s']:.0f} points/s aggregate)",
+        f"  queries: {payload['queries_total']} "
+        f"(p50 {payload['query_p50_ms']:.2f} ms, "
+        f"p95 {payload['query_p95_ms']:.2f} ms)",
+        "  offline equivalence: verified for every tenant",
+        f"[json written to {path}]",
+    ]
+    write_result("serve_throughput", "\n".join(lines))
+
+
+if __name__ == "__main__":
+    payload, path = run_serve_bench()
+    print(json.dumps(payload, indent=2))
+    print(f"written to {path}")

@@ -16,6 +16,7 @@ Quickstart:
     30
 """
 
+from repro._version import __version__
 from repro.api import cluster_static, cluster_stream
 from repro.baselines import (
     DBStream,
@@ -63,9 +64,8 @@ from repro.runtime import (
 )
 from repro.window import SlidingWindow, drive, drive_supervised, replay
 
-__version__ = "1.0.0"
-
 __all__ = [
+    "__version__",
     "AnomalyMonitor",
     "AnomalyReport",
     "CheckpointStore",

@@ -1,0 +1,43 @@
+"""Single-source version resolution.
+
+The authoritative version lives in ``pyproject.toml`` (``[project] version``).
+When the package is installed, importlib metadata serves it; when running
+from a source checkout (``PYTHONPATH=src``), the adjacent ``pyproject.toml``
+is parsed directly so the two paths can never disagree.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+_FALLBACK = "0.0.0+unknown"
+
+
+def _from_metadata() -> str | None:
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+    except ImportError:  # pragma: no cover - py3.10+ always has it
+        return None
+    try:
+        return version("repro")
+    except PackageNotFoundError:
+        return None
+
+
+def _from_pyproject() -> str | None:
+    pyproject = Path(__file__).resolve().parent.parent.parent / "pyproject.toml"
+    try:
+        text = pyproject.read_text(encoding="utf-8")
+    except OSError:
+        return None
+    match = re.search(r'^version\s*=\s*"([^"]+)"', text, re.MULTILINE)
+    return match.group(1) if match else None
+
+
+def resolve_version() -> str:
+    """The package version, from installed metadata or the source tree."""
+    return _from_metadata() or _from_pyproject() or _FALLBACK
+
+
+__version__ = resolve_version()

@@ -7,6 +7,10 @@ Commands:
   window and write the final labels (optionally logging evolution events).
 - ``estimate`` — suggest eps (k-distance knee) and tau for a stream sample.
 - ``compare`` — quick side-by-side of all methods on a stream.
+- ``serve`` — host multi-tenant live sessions over the JSON-lines TCP
+  protocol (see docs/serving.md).
+- ``loadgen`` — drive a serve endpoint with N concurrent tenants and report
+  ingest throughput and query-latency percentiles.
 
 ``cluster`` can run resiliently: ``--checkpoint-dir`` turns on durable
 checkpoints every ``--checkpoint-every`` strides, ``--resume`` continues a
@@ -37,6 +41,7 @@ import argparse
 import sys
 import time
 
+from repro._version import __version__
 from repro.baselines import (
     DBStream,
     EDMStream,
@@ -67,6 +72,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="DISC incremental density-based clustering (ICDE 2021 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -170,6 +178,95 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_INDEX,
         help="spatial-index backend for index-based methods",
     )
+
+    serve = commands.add_parser(
+        "serve",
+        help="host multi-tenant live clustering sessions over TCP "
+        "(JSON-lines protocol; see docs/serving.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7171, help="0 picks a free port")
+    serve.add_argument(
+        "--data-dir",
+        help="root directory for per-tenant durability (session metadata + "
+        "checkpoints); omit for ephemeral sessions",
+    )
+    serve.add_argument(
+        "--resume",
+        action="store_true",
+        help="resurrect every tenant persisted under --data-dir before "
+        "accepting connections",
+    )
+    serve.add_argument(
+        "--metrics-dir",
+        help="maintain a Prometheus textfile per tenant in this directory",
+    )
+    serve.add_argument(
+        "--trace-dir",
+        help="append per-stride JSONL traces per tenant in this directory",
+    )
+
+    loadgen = commands.add_parser(
+        "loadgen",
+        help="drive a serve endpoint with N concurrent tenants and report "
+        "throughput + query latency",
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=7171)
+    loadgen.add_argument("--tenants", type=int, default=4)
+    loadgen.add_argument(
+        "--points", type=int, default=2000, help="points per tenant"
+    )
+    loadgen.add_argument(
+        "--dataset",
+        choices=sorted(DATASETS),
+        default="maze",
+        help="dataset simulator feeding each tenant (seeded per tenant)",
+    )
+    loadgen.add_argument(
+        "--eps", type=float, help="default: the dataset's calibrated eps"
+    )
+    loadgen.add_argument(
+        "--tau", type=int, help="default: the dataset's calibrated tau"
+    )
+    loadgen.add_argument(
+        "--window", type=int, help="default: the dataset's calibrated window"
+    )
+    loadgen.add_argument("--stride", type=int, help="default: window/10")
+    loadgen.add_argument(
+        "--index",
+        choices=available_indexes(),
+        default=None,
+        help="spatial-index backend name for the served sessions",
+    )
+    loadgen.add_argument(
+        "--policy",
+        choices=("block", "shed-oldest", "reject"),
+        default="block",
+        help="backpressure policy of the opened sessions",
+    )
+    loadgen.add_argument("--queue-limit", type=int, default=2048)
+    loadgen.add_argument("--checkpoint-every", type=int, default=16)
+    loadgen.add_argument(
+        "--rate",
+        type=float,
+        default=0.0,
+        help="target points/second per tenant (0 = as fast as admitted)",
+    )
+    loadgen.add_argument("--batch", type=int, default=50, help="points per INGEST")
+    loadgen.add_argument(
+        "--query-every",
+        type=int,
+        default=1,
+        help="one pid-query + one coords-query every N batches (0 = none)",
+    )
+    loadgen.add_argument(
+        "--no-flush-tail",
+        action="store_true",
+        help="drain without end-of-stream tail flush (mid-run drain semantics)",
+    )
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument("--json", help="also write the full report as JSON here")
     return parser
 
 
@@ -422,6 +519,18 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.serve.server import main as serve_main
+
+    return serve_main(args)
+
+
+def cmd_loadgen(args) -> int:
+    from repro.serve.loadgen import main as loadgen_main
+
+    return loadgen_main(args)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -429,6 +538,8 @@ def main(argv: list[str] | None = None) -> int:
         "cluster": cmd_cluster,
         "estimate": cmd_estimate,
         "compare": cmd_compare,
+        "serve": cmd_serve,
+        "loadgen": cmd_loadgen,
     }
     return handlers[args.command](args)
 

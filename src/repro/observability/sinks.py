@@ -11,6 +11,7 @@ import json
 import os
 from pathlib import Path
 
+from repro._version import __version__
 from repro.observability.trace import COUNTERS, PHASES, StrideTrace
 
 
@@ -83,6 +84,9 @@ class PrometheusTextfileExporter:
         """The current exposition text (also what lands in the file)."""
         agg = self._aggregate
         lines = [
+            "# HELP disc_build_info Build metadata of the emitting process.",
+            "# TYPE disc_build_info gauge",
+            f'disc_build_info{{version="{__version__}"}} 1',
             "# HELP disc_strides_total Window advances processed.",
             "# TYPE disc_strides_total counter",
             f"disc_strides_total {0 if agg is None else agg.strides}",

@@ -125,8 +125,111 @@ class Supervisor:
 
         self.clusterer: DISC | None = None
         self.stride = 0  # next stride index to process
+        self._cursor = None  # WindowCursor once begin() has run
+        self._since_checkpoint = 0
 
     # -------------------------------------------------------------- lifecycle
+
+    def begin(self, *, resume: bool | str = False) -> int:
+        """Initialise (or restore) the run; return the stream offset to skip.
+
+        This is the push-style entry point: after ``begin`` the caller feeds
+        raw stream items one at a time through :meth:`feed` and flushes the
+        tail with :meth:`finish`. :meth:`run` is the pull-style wrapper over
+        exactly these three calls, so both driving styles produce
+        byte-identical stride sequences.
+
+        Args:
+            resume: ``False`` starts fresh; ``True`` restores the latest
+                checkpoint (raising :class:`CheckpointError` when there is
+                none); ``"auto"`` resumes when a checkpoint exists and
+                starts fresh otherwise.
+
+        Returns:
+            The number of leading raw stream items the restored checkpoint
+            already accounts for — the caller must skip (or not re-send)
+            that prefix. ``0`` on a fresh start.
+        """
+        from repro.window.sliding import WindowCursor
+
+        if resume:
+            restored = self._try_restore(
+                required=resume is not False and resume != "auto"
+            )
+        else:
+            restored = None
+        if restored is not None:
+            self._cursor, stream_offset = restored
+        else:
+            self.clusterer = DISC(
+                self.eps,
+                self.tau,
+                index=self.index,
+                multi_starter=self.multi_starter,
+                epoch_probing=self.epoch_probing,
+                tracer=self.tracer,
+            )
+            self._cursor = WindowCursor(self.spec, self.time_based)
+            self.stride = 0
+            stream_offset = 0
+        self._since_checkpoint = 0
+        return stream_offset
+
+    def feed(
+        self, item: StreamPoint | MalformedRecord
+    ) -> list[tuple[Clustering, StrideSummary]]:
+        """Push one raw stream item; return the stride results it closed.
+
+        Most items close no stride (empty list); an item that completes one
+        or more slides returns one ``(snapshot, summary)`` pair per advance.
+        Periodic checkpointing happens here, after the closing strides, so
+        the push path checkpoints at exactly the same boundaries as
+        :meth:`run`.
+        """
+        if self._cursor is None:
+            raise ConfigurationError("call begin() before feed()")
+        point = self.guard.admit(item)
+        if point is None:
+            return []
+        slides = self._cursor.feed(point)
+        results = [self._advance(di, do) for di, do in slides]
+        if slides:
+            self._since_checkpoint += len(slides)
+            if self._since_checkpoint >= self.checkpoint_every:
+                self._checkpoint(self._cursor)
+                self._since_checkpoint = 0
+        return results
+
+    def finish(self) -> list[tuple[Clustering, StrideSummary]]:
+        """Flush the trailing partial batch and take the closing checkpoint."""
+        if self._cursor is None:
+            raise ConfigurationError("call begin() before finish()")
+        tail = self._cursor.finish()
+        results = []
+        if tail is not None:
+            results.append(self._advance(*tail))
+            self._since_checkpoint += 1
+        if self.store is not None and self._since_checkpoint:
+            self._checkpoint(self._cursor)
+            self._since_checkpoint = 0
+        return results
+
+    def final_checkpoint(self):
+        """Unconditionally persist the current run state; return the path.
+
+        Unlike the periodic checkpoints inside :meth:`feed`, this captures
+        the state *right now* — including a partially filled batch — so a
+        serving layer can drain a session (stop admitting, flush its queue)
+        and then make the drain durable. A run resumed from this checkpoint
+        replays zero points: the stored ``stream_offset`` covers every item
+        the guard has seen. No-op (returns ``None``) without a store or
+        before any stream has been started.
+        """
+        if self.store is None or self._cursor is None or self.clusterer is None:
+            return None
+        path = self._checkpoint(self._cursor)
+        self._since_checkpoint = 0
+        return path
 
     def run(
         self,
@@ -146,47 +249,12 @@ class Supervisor:
                 none); ``"auto"`` resumes when a checkpoint exists and
                 starts fresh otherwise.
         """
-        from repro.window.sliding import WindowCursor
-
-        cursor: WindowCursor
-        if resume:
-            restored = self._try_restore(required=resume is not False and resume != "auto")
-        else:
-            restored = None
-        if restored is not None:
-            cursor, stream_offset = restored
+        stream_offset = self.begin(resume=resume)
+        if stream_offset:
             points = itertools.islice(iter(points), stream_offset, None)
-        else:
-            self.clusterer = DISC(
-                self.eps,
-                self.tau,
-                index=self.index,
-                multi_starter=self.multi_starter,
-                epoch_probing=self.epoch_probing,
-                tracer=self.tracer,
-            )
-            cursor = WindowCursor(self.spec, self.time_based)
-            self.stride = 0
-
-        strides_since_checkpoint = 0
         for item in points:
-            point = self.guard.admit(item)
-            if point is None:
-                continue
-            slides = cursor.feed(point)
-            for delta_in, delta_out in slides:
-                yield self._advance(delta_in, delta_out)
-            if slides:
-                strides_since_checkpoint += len(slides)
-                if strides_since_checkpoint >= self.checkpoint_every:
-                    self._checkpoint(cursor)
-                    strides_since_checkpoint = 0
-        tail = cursor.finish()
-        if tail is not None:
-            yield self._advance(*tail)
-            strides_since_checkpoint += 1
-        if self.store is not None and strides_since_checkpoint:
-            self._checkpoint(cursor)
+            yield from self.feed(item)
+        yield from self.finish()
 
     def snapshot(self) -> Clustering:
         """Current clustering of the supervised run."""
@@ -228,9 +296,9 @@ class Supervisor:
         )
         self.clusterer = rebuild(self.clusterer)
 
-    def _checkpoint(self, cursor) -> None:
+    def _checkpoint(self, cursor):
         if self.store is None:
-            return
+            return None
         payload = {
             "payload_version": PAYLOAD_VERSION,
             "stride": self.stride,
@@ -244,6 +312,7 @@ class Supervisor:
         path = self.store.save(self.stride, payload)
         self.stats.checkpoints_written += 1
         self.hooks.after_checkpoint(self.stride, path)
+        return path
 
     def _try_restore(self, required: bool):
         """Restore from the latest checkpoint; return (cursor, offset) or None."""

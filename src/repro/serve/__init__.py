@@ -1,0 +1,43 @@
+"""``repro.serve`` — a multi-tenant streaming clustering service.
+
+The serving layer hosts many independent tenant *sessions*, each owning one
+:class:`~repro.runtime.supervisor.Supervisor`-driven DISC pipeline fed from a
+bounded ingest queue by a single writer task. Reads (point membership,
+ad-hoc nearest-core classification, full snapshots, stats) are answered from
+an immutable :class:`~repro.serve.session.SessionView` published once per
+window advance — DISC's per-stride update model means queries never observe
+a half-advanced stride and never block ingestion.
+
+Modules:
+
+- :mod:`repro.serve.config` — per-tenant session configuration.
+- :mod:`repro.serve.session` — the tenant session: queue, backpressure,
+  single-writer loop, copy-on-publish views, drain.
+- :mod:`repro.serve.service` — the tenant registry: open/resume/drain/close,
+  durable session metadata, per-tenant observability sinks.
+- :mod:`repro.serve.protocol` — the stdlib-only JSON-lines TCP protocol.
+- :mod:`repro.serve.server` — the asyncio TCP server (``repro serve``).
+- :mod:`repro.serve.client` — the asyncio client used by tests and loadgen.
+- :mod:`repro.serve.loadgen` — the load generator (``repro loadgen``).
+
+See ``docs/serving.md`` for the protocol frames, backpressure policies and
+durability semantics.
+"""
+
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.config import BACKPRESSURE_POLICIES, SessionConfig
+from repro.serve.protocol import ProtocolError, ServeError
+from repro.serve.service import ClusterService
+from repro.serve.session import SessionView, TenantSession
+
+__all__ = [
+    "BACKPRESSURE_POLICIES",
+    "ClusterService",
+    "ProtocolError",
+    "ServeClient",
+    "ServeClientError",
+    "ServeError",
+    "SessionConfig",
+    "SessionView",
+    "TenantSession",
+]

@@ -1,0 +1,142 @@
+"""Asyncio client for the serving protocol (used by loadgen and tests).
+
+One :class:`ServeClient` wraps one TCP connection and speaks strict
+request/response: every method sends a frame and awaits its envelope. By
+default a server-side error envelope raises :class:`ServeClientError`
+(carrying the protocol error code); pass ``check=False`` to
+:meth:`ServeClient.request` to receive the raw envelope instead.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.common.errors import ReproError
+from repro.serve import protocol
+
+
+class ServeClientError(ReproError):
+    """An error envelope returned by the server.
+
+    Attributes:
+        code: the protocol error code (see
+            :data:`repro.serve.protocol.ERROR_CODES`).
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class ServeClient:
+    """One connection to a serve endpoint.
+
+    Build with :meth:`connect`::
+
+        client = await ServeClient.connect("127.0.0.1", 7171)
+        await client.open_session("tenant-a", config)
+        await client.ingest("tenant-a", points)
+        reply = await client.query_coords("tenant-a", (0.4, 1.2))
+        await client.close()
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._next_id = 0
+
+    @classmethod
+    async def connect(
+        cls, host: str = "127.0.0.1", port: int = 7171
+    ) -> "ServeClient":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=protocol.MAX_FRAME_BYTES + 1024
+        )
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+
+    async def __aenter__(self) -> "ServeClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # --------------------------------------------------------------- framing
+
+    async def request(self, frame: dict, *, check: bool = True) -> dict:
+        """Send one frame, await its envelope.
+
+        Args:
+            frame: the request (an ``id`` is added when absent).
+            check: raise :class:`ServeClientError` on an error envelope
+                instead of returning it.
+        """
+        if "id" not in frame:
+            self._next_id += 1
+            frame = {**frame, "id": self._next_id}
+        self._writer.write(protocol.encode_frame(frame))
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ServeClientError("internal", "server closed the connection")
+        response = protocol.decode_frame(line)
+        if check and not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServeClientError(
+                error.get("code", "internal"),
+                error.get("message", "unknown server error"),
+            )
+        return response
+
+    # ------------------------------------------------------------------- ops
+
+    async def open_session(
+        self, name: str, config, *, resume: bool | str = "auto"
+    ) -> dict:
+        payload = config.as_dict() if hasattr(config, "as_dict") else dict(config)
+        return await self.request(
+            {"op": "OPEN", "session": name, "config": payload, "resume": resume}
+        )
+
+    async def ingest(self, name: str, points, *, check: bool = True) -> dict:
+        return await self.request(
+            {
+                "op": "INGEST",
+                "session": name,
+                "points": protocol.encode_points(points),
+            },
+            check=check,
+        )
+
+    async def query_pid(self, name: str, pid: int) -> dict:
+        return await self.request({"op": "QUERY", "session": name, "pid": pid})
+
+    async def query_coords(self, name: str, coords) -> dict:
+        return await self.request(
+            {"op": "QUERY", "session": name, "coords": list(coords)}
+        )
+
+    async def snapshot(self, name: str) -> dict:
+        return await self.request({"op": "SNAPSHOT", "session": name})
+
+    async def stats(self, name: str | None = None) -> dict:
+        frame = {"op": "STATS"}
+        if name is not None:
+            frame["session"] = name
+        return await self.request(frame)
+
+    async def drain(self, name: str, *, flush_tail: bool = False) -> dict:
+        return await self.request(
+            {"op": "DRAIN", "session": name, "flush_tail": flush_tail}
+        )
+
+    async def close_session(self, name: str) -> dict:
+        return await self.request({"op": "CLOSE", "session": name})

@@ -1,0 +1,98 @@
+"""Per-tenant session configuration for the serving layer.
+
+A :class:`SessionConfig` is everything needed to (re)build one tenant's
+pipeline: the clustering thresholds, the window specification, the index
+backend *name* (instances cannot be resumed from disk), the input-fault
+policy, and the ingest-side admission controls. It round-trips through JSON
+(:meth:`SessionConfig.as_dict` / :meth:`SessionConfig.from_dict`) because the
+service persists it next to the tenant's checkpoints so a restarted server
+can resurrect every session without the client re-sending its ``OPEN``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.common.errors import ConfigurationError
+
+#: Admission-control policies applied when producers outrun the stride loop.
+#:
+#: - ``block``: the ``INGEST`` reply is withheld until queue space frees up —
+#:   classic backpressure propagated to the producer over TCP.
+#: - ``shed-oldest``: the oldest queued (not yet clustered) point is dropped
+#:   to make room; the reply reports how many were shed.
+#: - ``reject``: new points are refused while the queue is full; the reply
+#:   reports how many were rejected so the producer can retry.
+BACKPRESSURE_POLICIES = ("block", "shed-oldest", "reject")
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Everything defining one tenant's pipeline and admission behaviour.
+
+    Args:
+        eps, tau: DBSCAN thresholds.
+        window, stride: sliding-window sizes (counts, or durations when
+            ``time_based``).
+        time_based: interpret the window spec as durations over timestamps.
+        index: spatial-index backend name from the registry, or ``None``
+            for the default.
+        on_malformed: input-fault policy (``strict`` / ``skip`` / ``clamp``).
+        backpressure: one of :data:`BACKPRESSURE_POLICIES`.
+        queue_limit: bounded ingest-queue capacity (points).
+        checkpoint_every: strides between durable checkpoints.
+    """
+
+    eps: float
+    tau: int
+    window: int
+    stride: int
+    time_based: bool = False
+    index: str | None = None
+    on_malformed: str = "strict"
+    backpressure: str = "block"
+    queue_limit: int = 2048
+    checkpoint_every: int = 16
+
+    def __post_init__(self) -> None:
+        if self.backpressure not in BACKPRESSURE_POLICIES:
+            raise ConfigurationError(
+                f"unknown backpressure policy {self.backpressure!r}; "
+                f"expected one of {BACKPRESSURE_POLICIES}"
+            )
+        if self.on_malformed not in ("strict", "skip", "clamp"):
+            raise ConfigurationError(
+                f"unknown input-fault policy {self.on_malformed!r}"
+            )
+        if self.queue_limit < 1:
+            raise ConfigurationError(
+                f"queue_limit must be >= 1, got {self.queue_limit}"
+            )
+        if self.index is not None and not isinstance(self.index, str):
+            raise ConfigurationError(
+                "a served session needs a registry index *name* (or None) "
+                f"so checkpoints can be restored; got {self.index!r}"
+            )
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form (session metadata / ``OPEN`` payload)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SessionConfig":
+        """Rebuild a config from :meth:`as_dict` output; validates fields."""
+        try:
+            return cls(
+                eps=float(payload["eps"]),
+                tau=int(payload["tau"]),
+                window=int(payload["window"]),
+                stride=int(payload["stride"]),
+                time_based=bool(payload.get("time_based", False)),
+                index=payload.get("index"),
+                on_malformed=str(payload.get("on_malformed", "strict")),
+                backpressure=str(payload.get("backpressure", "block")),
+                queue_limit=int(payload.get("queue_limit", 2048)),
+                checkpoint_every=int(payload.get("checkpoint_every", 16)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(f"malformed session config: {exc}") from exc

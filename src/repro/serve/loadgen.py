@@ -1,0 +1,223 @@
+"""Load generation against a serve endpoint: N tenants, rate, latencies.
+
+Each tenant gets its own connection, its own session, and its own
+deterministic stream (a dataset simulator seeded per tenant), so runs are
+reproducible and a served session can be re-verified offline against
+``api.cluster_stream`` on the same stream. The generator drives ingestion
+in batches at a target per-tenant rate (or flat out), interleaves tracked
+(``pid``) and ad-hoc (``coords``) queries, and reports ingest throughput
+plus query-latency percentiles — the numbers ``benchmarks/bench_serve.py``
+records as ``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import time
+
+from repro.common.errors import ReproError
+from repro.datasets.registry import DATASETS
+from repro.observability.trace import percentile
+from repro.serve.client import ServeClient
+from repro.serve.config import SessionConfig
+
+
+def tenant_stream(dataset: str, n_points: int, tenant_index: int, seed: int):
+    """The deterministic stream of one tenant (seeded per tenant)."""
+    return DATASETS[dataset].load(n_points, seed=seed + 1000 * tenant_index)
+
+
+async def _run_tenant(
+    host: str,
+    port: int,
+    name: str,
+    config: SessionConfig,
+    points,
+    *,
+    rate: float,
+    batch: int,
+    query_every: int,
+    flush_tail: bool,
+) -> dict:
+    client = await ServeClient.connect(host, port)
+    try:
+        await client.open_session(name, config, resume="auto")
+        counts = {"accepted": 0, "shed": 0, "rejected": 0}
+        query_s: list[float] = []
+        start = time.perf_counter()
+        next_due = start
+        for batch_no, offset in enumerate(range(0, len(points), batch)):
+            chunk = points[offset : offset + batch]
+            if rate > 0:
+                next_due += len(chunk) / rate
+                delay = next_due - time.perf_counter()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+            reply = await client.ingest(name, chunk)
+            for key in counts:
+                counts[key] += reply.get(key, 0)
+            if query_every and batch_no % query_every == 0:
+                t0 = time.perf_counter()
+                await client.query_pid(name, chunk[0].pid)
+                query_s.append(time.perf_counter() - t0)
+                t0 = time.perf_counter()
+                await client.query_coords(name, chunk[-1].coords)
+                query_s.append(time.perf_counter() - t0)
+        ingest_elapsed = time.perf_counter() - start
+        drain = await client.drain(name, flush_tail=flush_tail)
+        stats = await client.stats(name)
+        return {
+            "tenant": name,
+            "points_sent": len(points),
+            "ingest_seconds": ingest_elapsed,
+            "ingest_points_per_s": (
+                counts["accepted"] / ingest_elapsed if ingest_elapsed > 0 else 0.0
+            ),
+            **counts,
+            "queries": len(query_s),
+            "query_seconds": query_s,
+            "final_stride": drain["stride"],
+            "ingested": drain["ingested"],
+            "strides": stats["runtime"]["strides"],
+        }
+    finally:
+        await client.close()
+
+
+async def run_loadgen(
+    host: str,
+    port: int,
+    *,
+    tenants: int = 4,
+    points_per_tenant: int = 2000,
+    dataset: str = "maze",
+    config: SessionConfig,
+    rate: float = 0.0,
+    batch: int = 50,
+    query_every: int = 1,
+    flush_tail: bool = True,
+    seed: int = 0,
+    session_prefix: str = "tenant",
+) -> dict:
+    """Drive ``tenants`` concurrent sessions; return the aggregate report.
+
+    Args:
+        rate: target ingest rate per tenant in points/second (``0`` = as
+            fast as the server admits — with the ``block`` policy that *is*
+            the backpressure-governed maximum).
+        batch: points per ``INGEST`` frame.
+        query_every: issue one pid-query and one coords-query every N
+            batches (``0`` disables queries).
+        flush_tail: end each session with end-of-stream semantics so its
+            final snapshot matches an offline ``cluster_stream`` run.
+    """
+    started = time.perf_counter()
+    reports = await asyncio.gather(
+        *(
+            _run_tenant(
+                host,
+                port,
+                f"{session_prefix}-{i}",
+                config,
+                tenant_stream(dataset, points_per_tenant, i, seed),
+                rate=rate,
+                batch=batch,
+                query_every=query_every,
+                flush_tail=flush_tail,
+            )
+            for i in range(tenants)
+        )
+    )
+    wall = time.perf_counter() - started
+    all_queries = [s for r in reports for s in r.pop("query_seconds")]
+    accepted = sum(r["accepted"] for r in reports)
+    aggregate = {
+        "tenants": tenants,
+        "dataset": dataset,
+        "points_per_tenant": points_per_tenant,
+        "batch": batch,
+        "rate_per_tenant": rate,
+        "backpressure": config.backpressure,
+        "wall_seconds": wall,
+        "accepted_total": accepted,
+        "shed_total": sum(r["shed"] for r in reports),
+        "rejected_total": sum(r["rejected"] for r in reports),
+        "ingest_points_per_s": accepted / wall if wall > 0 else 0.0,
+        "queries_total": len(all_queries),
+        "query_p50_ms": percentile(all_queries, 50) * 1000 if all_queries else 0.0,
+        "query_p95_ms": percentile(all_queries, 95) * 1000 if all_queries else 0.0,
+        "tenants_detail": reports,
+    }
+    return aggregate
+
+
+def render_report(report: dict) -> str:
+    """Human-readable loadgen summary (one concern per line)."""
+    lines = [
+        f"loadgen: {report['tenants']} tenants x "
+        f"{report['points_per_tenant']} points ({report['dataset']}), "
+        f"policy {report['backpressure']}",
+        f"ingest: {report['accepted_total']} accepted in "
+        f"{report['wall_seconds']:.2f}s "
+        f"({report['ingest_points_per_s']:.0f} points/s aggregate); "
+        f"shed {report['shed_total']}, rejected {report['rejected_total']}",
+        f"queries: {report['queries_total']} "
+        f"(p50 {report['query_p50_ms']:.2f} ms, "
+        f"p95 {report['query_p95_ms']:.2f} ms)",
+    ]
+    for tenant in report["tenants_detail"]:
+        lines.append(
+            f"  {tenant['tenant']}: {tenant['ingested']} ingested, "
+            f"{tenant['strides']} strides, final stride "
+            f"{tenant['final_stride']}, "
+            f"{tenant['ingest_points_per_s']:.0f} points/s"
+        )
+    return "\n".join(lines)
+
+
+def main(args) -> int:
+    """Entry point behind ``repro loadgen``."""
+    info = DATASETS[args.dataset]
+    config = SessionConfig(
+        eps=args.eps if args.eps is not None else info.eps,
+        tau=args.tau if args.tau is not None else info.tau,
+        window=args.window if args.window is not None else info.window,
+        stride=args.stride
+        if args.stride is not None
+        else max(1, (args.window if args.window is not None else info.window) // 10),
+        index=args.index,
+        backpressure=args.policy,
+        queue_limit=args.queue_limit,
+        checkpoint_every=args.checkpoint_every,
+    )
+    try:
+        report = asyncio.run(
+            run_loadgen(
+                args.host,
+                args.port,
+                tenants=args.tenants,
+                points_per_tenant=args.points,
+                dataset=args.dataset,
+                config=config,
+                rate=args.rate,
+                batch=args.batch,
+                query_every=args.query_every,
+                flush_tail=not args.no_flush_tail,
+                seed=args.seed,
+            )
+        )
+    except (ConnectionRefusedError, OSError) as exc:
+        print(f"loadgen: cannot reach {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 1
+    except ReproError as exc:
+        print(f"loadgen error: {exc}", file=sys.stderr)
+        return 1
+    print(render_report(report))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote report to {args.json}")
+    return 0

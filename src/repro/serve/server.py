@@ -1,0 +1,267 @@
+"""The asyncio TCP server: frames in, envelopes out, graceful drain.
+
+The server is deliberately thin: each connection reads JSON-lines frames
+and hands them to :func:`dispatch`, which translates ops into
+:class:`~repro.serve.service.ClusterService` calls and failures into error
+envelopes (a bad frame never kills a healthy connection; only an oversized
+one does, because the stream cannot be resynchronised). All sessions are
+shared across connections — any client may query a tenant another client
+feeds.
+
+``SIGTERM``/``SIGINT`` trigger the graceful path: stop accepting, drain
+every tenant (flush queues, final checkpoints), close. ``kill -9`` skips
+all of that by design — the recovery drill in CI proves the checkpoint
+layer brings every tenant back exactly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import sys
+
+from repro._version import __version__
+from repro.common.errors import ReproError
+from repro.serve import protocol
+from repro.serve.config import SessionConfig
+from repro.serve.protocol import ProtocolError, ServeError
+from repro.serve.service import ClusterService
+
+#: readline() needs headroom over the frame limit for the newline itself.
+_STREAM_LIMIT = protocol.MAX_FRAME_BYTES + 1024
+
+
+async def dispatch(service: ClusterService, frame: dict) -> dict:
+    """Execute one request frame against the service; never raises."""
+    rid = frame.get("id")
+    op = frame.get("op")
+    if op not in protocol.OPS:
+        return protocol.error_response(
+            "unknown-op", f"unknown op {op!r}; expected one of {protocol.OPS}", rid
+        )
+    try:
+        return await _dispatch_op(service, op, frame, rid)
+    except (ProtocolError, ServeError) as exc:
+        return protocol.error_response(exc.code, str(exc), rid)
+    except ReproError as exc:
+        return protocol.error_response("bad-request", str(exc), rid)
+    except Exception as exc:  # pragma: no cover - defensive envelope
+        return protocol.error_response(
+            "internal", f"{type(exc).__name__}: {exc}", rid
+        )
+
+
+def _session_name(frame: dict) -> str:
+    name = frame.get("session")
+    if not isinstance(name, str) or not name:
+        raise ProtocolError(
+            "bad-request", f"frame needs a string 'session' field, got {name!r}"
+        )
+    return name
+
+
+async def _dispatch_op(
+    service: ClusterService, op: str, frame: dict, rid
+) -> dict:
+    if op == "OPEN":
+        name = _session_name(frame)
+        config_payload = frame.get("config")
+        if not isinstance(config_payload, dict):
+            raise ProtocolError("bad-request", "OPEN needs a 'config' object")
+        resume = frame.get("resume", "auto")
+        if resume not in (True, False, "auto"):
+            raise ProtocolError(
+                "bad-request", f"resume must be true/false/'auto', got {resume!r}"
+            )
+        session = service.open(name, SessionConfig.from_dict(config_payload), resume=resume)
+        return protocol.ok_response(
+            op,
+            rid,
+            session=name,
+            stride=session.view.stride,
+            replay_offset=session.replay_offset,
+            version=__version__,
+        )
+
+    if op == "INGEST":
+        session = service.get(_session_name(frame))
+        session.require_healthy()
+        if session.draining:
+            raise ServeError(
+                "draining", f"session {session.name!r} is draining"
+            )
+        items = protocol.decode_points(
+            frame.get("points"), start_seq=session.received
+        )
+        result = await session.offer(items)
+        # Give the writer one scheduling slot so a failure caused by this
+        # very batch (strict policy) surfaces in this response rather than
+        # the next one.
+        await asyncio.sleep(0)
+        session.require_healthy()
+        return protocol.ok_response(op, rid, session=session.name, **result)
+
+    if op == "QUERY":
+        session = service.get(_session_name(frame))
+        session.queries += 1
+        view = session.view
+        if "pid" in frame:
+            try:
+                pid = int(frame["pid"])
+            except (TypeError, ValueError) as exc:
+                raise ProtocolError("bad-request", f"bad pid: {exc}") from exc
+            return protocol.ok_response(op, rid, **view.membership(pid))
+        if "coords" in frame:
+            coords = frame["coords"]
+            try:
+                coords = tuple(float(c) for c in coords)
+            except (TypeError, ValueError) as exc:
+                raise ProtocolError("bad-request", f"bad coords: {exc}") from exc
+            if not coords:
+                raise ProtocolError("bad-request", "coords must be non-empty")
+            return protocol.ok_response(op, rid, **view.classify(coords))
+        raise ProtocolError("bad-request", "QUERY needs 'pid' or 'coords'")
+
+    if op == "SNAPSHOT":
+        session = service.get(_session_name(frame))
+        session.queries += 1
+        return protocol.ok_response(op, rid, **session.view.snapshot_payload())
+
+    if op == "STATS":
+        if frame.get("session") is None:
+            return protocol.ok_response(op, rid, **service.stats())
+        session = service.get(_session_name(frame))
+        return protocol.ok_response(
+            op, rid, version=__version__, **session.stats()
+        )
+
+    if op == "DRAIN":
+        result = await service.drain(
+            _session_name(frame), flush_tail=bool(frame.get("flush_tail", False))
+        )
+        return protocol.ok_response(op, rid, **result)
+
+    # CLOSE
+    name = _session_name(frame)
+    await service.close(name)
+    return protocol.ok_response(op, rid, session=name)
+
+
+async def handle_connection(
+    service: ClusterService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    """Serve one client connection: request/response, in order."""
+    try:
+        while True:
+            try:
+                line = await reader.readline()
+            except (asyncio.LimitOverrunError, ValueError):
+                # The stream cannot be resynchronised past an oversized
+                # frame; report and hang up.
+                writer.write(
+                    protocol.encode_frame(
+                        protocol.error_response(
+                            "bad-frame", "frame exceeds the line limit"
+                        )
+                    )
+                )
+                await writer.drain()
+                break
+            if not line:
+                break  # client hung up
+            if line.strip() == b"":
+                continue
+            try:
+                frame = protocol.decode_frame(line)
+            except ProtocolError as exc:
+                response = protocol.error_response(exc.code, str(exc))
+            else:
+                response = await dispatch(service, frame)
+            writer.write(protocol.encode_frame(response))
+            await writer.drain()
+    except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+        pass
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+
+
+async def run_server(
+    service: ClusterService,
+    host: str = "127.0.0.1",
+    port: int = 7171,
+    *,
+    resume: bool = False,
+    ready: asyncio.Event | None = None,
+    stop: asyncio.Event | None = None,
+) -> None:
+    """Run the TCP server until stopped, then drain gracefully.
+
+    Args:
+        service: the tenant registry to serve.
+        host, port: bind address (``port=0`` picks a free port; the chosen
+            one is printed on the ready line).
+        resume: resurrect persisted tenants from ``service.data_dir``
+            before accepting connections.
+        ready: optional event set once the socket is listening (in-process
+            harnesses).
+        stop: optional external stop trigger; SIGTERM/SIGINT set it too.
+    """
+    if resume:
+        resumed = service.resume_all()
+        if resumed:
+            print(f"serve: resumed {len(resumed)} session(s): {', '.join(resumed)}")
+    stop = stop or asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # non-main thread or unsupported platform
+
+    server = await asyncio.start_server(
+        lambda r, w: handle_connection(service, r, w),
+        host,
+        port,
+        limit=_STREAM_LIMIT,
+    )
+    bound_port = server.sockets[0].getsockname()[1]
+    service.port = bound_port
+    print(f"serve: listening on {host}:{bound_port} (repro {__version__})", flush=True)
+    if ready is not None:
+        ready.set()
+    async with server:
+        await stop.wait()
+        server.close()
+        await server.wait_closed()
+    report = await service.shutdown()
+    drained = sum(1 for r in report.values() if r.get("checkpointed"))
+    print(
+        f"serve: drained {len(report)} session(s), "
+        f"{drained} final checkpoint(s) written",
+        flush=True,
+    )
+
+
+def main(args) -> int:
+    """Entry point behind ``repro serve``."""
+    service = ClusterService(
+        data_dir=args.data_dir,
+        metrics_dir=args.metrics_dir,
+        trace_dir=args.trace_dir,
+    )
+    try:
+        asyncio.run(
+            run_server(service, args.host, args.port, resume=args.resume)
+        )
+    except KeyboardInterrupt:  # pragma: no cover - signal handler races
+        pass
+    except ReproError as exc:
+        print(f"serve error: {exc}", file=sys.stderr)
+        return 1
+    return 0

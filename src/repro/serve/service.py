@@ -1,0 +1,216 @@
+"""The tenant registry: open / resume / query / drain / close sessions.
+
+A :class:`ClusterService` is the server's in-process core (the TCP layer in
+:mod:`repro.serve.server` is a thin frame dispatcher over it, and tests
+drive it directly). It owns the tenant map and the durability layout: under
+``data_dir`` each tenant gets ::
+
+    <data_dir>/<tenant>/session.json    # SessionConfig, written atomically
+    <data_dir>/<tenant>/ckpt/           # the Supervisor's CheckpointStore
+
+so :meth:`ClusterService.resume_all` can resurrect every tenant of a killed
+server — config from the metadata file, clustering state from the newest
+checkpoint — without clients re-sending their ``OPEN`` frames.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from pathlib import Path
+
+from repro._version import __version__
+from repro.serve.config import SessionConfig
+from repro.serve.protocol import ServeError
+from repro.serve.session import TenantSession
+
+#: Tenant names are path components; keep them boring.
+_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+class ClusterService:
+    """Hosts many independent tenant sessions.
+
+    Args:
+        data_dir: root directory for per-tenant durability (checkpoints +
+            session metadata). ``None`` serves ephemeral tenants only.
+        metrics_dir: when set, each tenant maintains a Prometheus textfile
+            ``<metrics_dir>/<tenant>.prom`` (atomic rewrites).
+        trace_dir: when set, each tenant appends one JSON trace record per
+            stride to ``<trace_dir>/<tenant>.jsonl``.
+        journal: when True, every session records its post-admission item
+            sequence in ``session.journal`` (test instrumentation).
+    """
+
+    def __init__(
+        self,
+        *,
+        data_dir: str | os.PathLike | None = None,
+        metrics_dir: str | os.PathLike | None = None,
+        trace_dir: str | os.PathLike | None = None,
+        journal: bool = False,
+    ) -> None:
+        self.data_dir = None if data_dir is None else Path(data_dir)
+        self.metrics_dir = None if metrics_dir is None else Path(metrics_dir)
+        self.trace_dir = None if trace_dir is None else Path(trace_dir)
+        self.journal = journal
+        self.sessions: dict[str, TenantSession] = {}
+        self.accepting = True
+        self.port: int | None = None  # set by run_server once bound
+        if self.data_dir is not None:
+            self.data_dir.mkdir(parents=True, exist_ok=True)
+
+    # -------------------------------------------------------------- lifecycle
+
+    def open(
+        self,
+        name: str,
+        config: SessionConfig,
+        *,
+        resume: bool | str = "auto",
+    ) -> TenantSession:
+        """Create (or restore) a tenant session and start its writer task.
+
+        Must run inside the event loop. ``resume="auto"`` picks up a
+        checkpoint when one exists, so re-``OPEN``-ing a durable tenant
+        after a crash continues it instead of starting over.
+        """
+        if not self.accepting:
+            raise ServeError("draining", "server is draining; no new sessions")
+        if not _NAME.match(name):
+            raise ServeError(
+                "bad-request",
+                f"invalid session name {name!r} (want {_NAME.pattern})",
+            )
+        if name in self.sessions:
+            # Idempotent re-OPEN: after a crash the server's --resume path
+            # may have resurrected the tenant before the client reconnects;
+            # the client's OPEN then just reattaches (and learns the replay
+            # offset). A *conflicting* config is still an error.
+            existing = self.sessions[name]
+            if existing.config == config:
+                return existing
+            raise ServeError(
+                "session-exists",
+                f"session {name!r} is already being served with a different config",
+            )
+        store = None
+        if self.data_dir is not None:
+            tenant_dir = self.data_dir / name
+            tenant_dir.mkdir(parents=True, exist_ok=True)
+            self._write_meta(tenant_dir / "session.json", config)
+            store = str(tenant_dir / "ckpt")
+        session = TenantSession(
+            name,
+            config,
+            store=store,
+            tracer=self._make_tracer(name),
+            journal=[] if self.journal else None,
+        )
+        session.start(resume=resume if store is not None else False)
+        self.sessions[name] = session
+        return session
+
+    def resume_all(self) -> list[str]:
+        """Resurrect every tenant persisted under ``data_dir``.
+
+        Returns the resumed tenant names, sorted. Tenants without a
+        checkpoint yet (killed before the first one) restart fresh from
+        their persisted config — either way the client replays the stream
+        from the beginning and the session swallows the covered prefix.
+        """
+        if self.data_dir is None:
+            return []
+        resumed = []
+        for meta_path in sorted(self.data_dir.glob("*/session.json")):
+            name = meta_path.parent.name
+            if name in self.sessions:
+                continue
+            config = self._read_meta(meta_path)
+            self.open(name, config, resume="auto")
+            resumed.append(name)
+        return resumed
+
+    def get(self, name: str) -> TenantSession:
+        try:
+            return self.sessions[name]
+        except KeyError:
+            raise ServeError(
+                "no-such-session", f"no session named {name!r}"
+            ) from None
+
+    async def drain(self, name: str, *, flush_tail: bool = False) -> dict:
+        """Drain one tenant: stop admitting, flush, final checkpoint."""
+        return await self.get(name).drain(flush_tail=flush_tail)
+
+    async def close(self, name: str) -> None:
+        """Stop one tenant's writer and forget it (checkpoints remain)."""
+        session = self.get(name)
+        await session.close()
+        if session.tracer is not None:
+            session.tracer.close()
+        del self.sessions[name]
+
+    async def shutdown(self, *, flush_tail: bool = False) -> dict:
+        """Graceful drain of the whole server.
+
+        Stops admitting new sessions, drains every tenant (queues flushed,
+        final checkpoints written), then stops the writer tasks. Returns a
+        per-tenant drain report.
+        """
+        self.accepting = False
+        report = {}
+        for name in sorted(self.sessions):
+            report[name] = await self.sessions[name].drain(flush_tail=flush_tail)
+        for name in list(self.sessions):
+            await self.close(name)
+        return report
+
+    def stats(self) -> dict:
+        """Server-level stats for a session-less ``STATS`` frame."""
+        return {
+            "version": __version__,
+            "accepting": self.accepting,
+            "sessions": sorted(self.sessions),
+            "received": sum(s.received for s in self.sessions.values()),
+            "ingested": sum(s.ingested for s in self.sessions.values()),
+            "queries": sum(s.queries for s in self.sessions.values()),
+        }
+
+    # -------------------------------------------------------------- internals
+
+    def _make_tracer(self, name: str):
+        if self.metrics_dir is None and self.trace_dir is None:
+            return None
+        from repro.observability import (
+            JsonlTraceWriter,
+            PrometheusTextfileExporter,
+            Tracer,
+        )
+
+        sinks = []
+        if self.trace_dir is not None:
+            sinks.append(JsonlTraceWriter(self.trace_dir / f"{name}.jsonl"))
+        if self.metrics_dir is not None:
+            sinks.append(
+                PrometheusTextfileExporter(self.metrics_dir / f"{name}.prom")
+            )
+        return Tracer(*sinks)
+
+    @staticmethod
+    def _write_meta(path: Path, config: SessionConfig) -> None:
+        payload = {"version": __version__, "config": config.as_dict()}
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+        os.replace(tmp, path)
+
+    @staticmethod
+    def _read_meta(path: Path) -> SessionConfig:
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            return SessionConfig.from_dict(payload["config"])
+        except (OSError, json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise ServeError(
+                "internal", f"unreadable session metadata {path}: {exc}"
+            ) from exc

@@ -1,0 +1,386 @@
+"""One tenant's served pipeline: queue, writer task, published views.
+
+A :class:`TenantSession` owns one
+:class:`~repro.runtime.supervisor.Supervisor` (and therefore one DISC, one
+window cursor, one input guard, one checkpoint store) and drives it from a
+bounded :class:`asyncio.Queue` with a **single writer task** — the only code
+that ever mutates clustering state. Producers enqueue through
+:meth:`TenantSession.offer` under the session's admission policy
+(``block`` / ``shed-oldest`` / ``reject``); readers are answered from
+:attr:`TenantSession.view`, an immutable :class:`SessionView` the writer
+swaps in atomically after every window advance (copy-on-publish). Because a
+view is fully constructed before the single reference assignment, a reader
+can never observe a half-advanced stride, and because reads touch only the
+published view, they never contend with ingestion.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections.abc import Iterable
+
+import math
+
+from repro.common.config import WindowSpec
+from repro.common.distance import squared_distance
+from repro.common.errors import ReproError
+from repro.common.points import StreamPoint
+from repro.common.snapshot import Category, Clustering
+from repro.datasets.io import MalformedRecord
+from repro.runtime.stats import RuntimeStats
+from repro.runtime.supervisor import Supervisor
+from repro.serve.config import SessionConfig
+from repro.serve.protocol import ServeError
+
+#: Queue sentinel telling the writer task to exit.
+_CLOSE = object()
+
+
+class SessionView:
+    """Immutable, point-in-time read surface of one tenant.
+
+    Published by the writer once per window advance; every query of the
+    serving layer is answered from the newest view without touching live
+    clustering state.
+
+    Attributes:
+        stride: index of the window advance this view reflects (``-1``
+            before the first advance).
+        clustering: the :class:`~repro.common.snapshot.Clustering` snapshot.
+        eps: the session's distance threshold (the ad-hoc classification
+            radius).
+        cores: ``(pid, coords, cluster_id)`` for every core point — the
+            data behind nearest-core classification.
+    """
+
+    __slots__ = ("stride", "clustering", "eps", "cores")
+
+    def __init__(
+        self,
+        stride: int,
+        clustering: Clustering,
+        eps: float,
+        cores: tuple[tuple[int, tuple[float, ...], int], ...],
+    ) -> None:
+        self.stride = stride
+        self.clustering = clustering
+        self.eps = eps
+        self.cores = cores
+
+    @classmethod
+    def empty(cls, eps: float) -> "SessionView":
+        return cls(-1, Clustering({}, {}), eps, ())
+
+    def membership(self, pid: int) -> dict:
+        """Label + category of a tracked point (noise when unknown)."""
+        return {
+            "pid": pid,
+            "stride": self.stride,
+            "label": self.clustering.label_of(pid),
+            "category": self.clustering.category_of(pid).value,
+            "tracked": pid in self.clustering.categories,
+        }
+
+    def classify(self, coords: tuple[float, ...]) -> dict:
+        """Label an ad-hoc point by its nearest core within ``eps``.
+
+        The DBSCAN assignment rule for a hypothetical arrival: a point
+        within ``eps`` of a core belongs to that core's cluster (nearest
+        core wins here, making the answer deterministic); otherwise it is
+        noise. The scan is linear over the core set — see
+        ``docs/serving.md`` for capacity notes.
+        """
+        best_pid = None
+        best_label = Clustering.NOISE_ID
+        best_sq = None
+        eps_sq = self.eps * self.eps
+        for pid, core_coords, label in self.cores:
+            if len(core_coords) != len(coords):
+                continue
+            sq = squared_distance(coords, core_coords)
+            if sq <= eps_sq and (best_sq is None or sq < best_sq):
+                best_pid, best_label, best_sq = pid, label, sq
+        return {
+            "stride": self.stride,
+            "label": best_label,
+            "nearest_core": best_pid,
+            "distance": None if best_sq is None else math.sqrt(best_sq),
+        }
+
+    def snapshot_payload(self) -> dict:
+        """The full-snapshot wire form (labels, categories, counts)."""
+        clustering = self.clustering
+        return {
+            "stride": self.stride,
+            "num_points": clustering.num_points,
+            "num_clusters": clustering.num_clusters,
+            "labels": {str(pid): cid for pid, cid in clustering.labels.items()},
+            "categories": {
+                str(pid): cat.value for pid, cat in clustering.categories.items()
+            },
+        }
+
+
+class TenantSession:
+    """One tenant: bounded ingest queue, single writer, published views.
+
+    Args:
+        name: tenant identifier (protocol ``session`` field).
+        config: the session's :class:`~repro.serve.config.SessionConfig`.
+        store: checkpoint directory (or ``None`` for a non-durable tenant).
+        tracer: optional :class:`~repro.observability.trace.Tracer` for
+            per-tenant stride traces / Prometheus metrics.
+        journal: optional list collecting every raw item the writer fed to
+            the pipeline, in order — the *post-admission* sequence. Tests
+            use it to replay a served run through ``api.cluster_stream`` and
+            prove byte-identical labels under every backpressure policy.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        config: SessionConfig,
+        *,
+        store=None,
+        tracer=None,
+        journal: list | None = None,
+    ) -> None:
+        self.name = name
+        self.config = config
+        self.tracer = tracer
+        self.journal = journal
+        self.supervisor = Supervisor(
+            config.eps,
+            config.tau,
+            WindowSpec(window=config.window, stride=config.stride),
+            store=store,
+            checkpoint_every=config.checkpoint_every,
+            index=config.index,
+            time_based=config.time_based,
+            policy=config.on_malformed,
+            stats=RuntimeStats(),
+            tracer=tracer,
+        )
+        self.view: SessionView = SessionView.empty(config.eps)
+        self.draining = False
+        self.drained = False
+        self.failed: str | None = None
+        self.received = 0  # raw items offered by producers
+        self.shed = 0  # queued items dropped by shed-oldest
+        self.rejected = 0  # items refused by reject (or while draining)
+        self.skipped_replay = 0  # replayed prefix consumed after a resume
+        self.ingested = 0  # items fed into the pipeline by the writer
+        self.queries = 0
+        self.replay_offset = 0  # prefix length a resume asked us to swallow
+        self._skip = 0  # replay prefix still to swallow (resume)
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=config.queue_limit)
+        self._writer: asyncio.Task | None = None
+
+    # ------------------------------------------------------------- lifecycle
+
+    def start(self, *, resume: bool | str = False) -> int:
+        """Initialise (or restore) the pipeline and start the writer task.
+
+        Returns the replay offset: how many leading raw stream items the
+        restored checkpoint already covers. The session swallows exactly
+        that many subsequent offers itself, so a producer simply re-sends
+        the stream from the beginning after a crash.
+        """
+        offset = self.supervisor.begin(resume=resume)
+        self.replay_offset = offset
+        self._skip = offset
+        if self.supervisor.stride > 0:
+            # Restored mid-run: publish the checkpointed clustering so
+            # readers see the resumed state before the first new advance.
+            self._publish()
+        self._writer = asyncio.get_running_loop().create_task(
+            self._writer_loop(), name=f"serve-writer-{self.name}"
+        )
+        return offset
+
+    async def close(self) -> None:
+        """Stop the writer task (does not checkpoint; see :meth:`drain`)."""
+        if self._writer is None:
+            return
+        if not self._writer.done():
+            await self._queue.put(_CLOSE)
+        await self._writer
+        self._writer = None
+
+    # ------------------------------------------------------------- ingestion
+
+    async def offer(
+        self, items: Iterable[StreamPoint | MalformedRecord]
+    ) -> dict:
+        """Admit a batch of raw stream items under the session policy.
+
+        Returns the admission outcome: ``accepted`` (enqueued, or swallowed
+        as replayed prefix after a resume), ``shed``, ``rejected``, and the
+        queue ``depth`` afterwards.
+        """
+        accepted = shed = rejected = 0
+        policy = self.config.backpressure
+        for item in items:
+            self.received += 1
+            if self.failed is not None or self.draining:
+                rejected += 1
+                continue
+            if self._skip > 0:
+                # Replay of a prefix the restored checkpoint already covers.
+                self._skip -= 1
+                self.skipped_replay += 1
+                accepted += 1
+                continue
+            if policy == "block":
+                await self._queue.put(item)
+                accepted += 1
+            elif policy == "shed-oldest":
+                while self._queue.full():
+                    try:
+                        self._queue.get_nowait()
+                    except asyncio.QueueEmpty:  # pragma: no cover - race-free
+                        break
+                    self._queue.task_done()
+                    shed += 1
+                self._queue.put_nowait(item)
+                accepted += 1
+            else:  # reject
+                if self._queue.full():
+                    rejected += 1
+                else:
+                    self._queue.put_nowait(item)
+                    accepted += 1
+        self.shed += shed
+        self.rejected += rejected
+        return {
+            "accepted": accepted,
+            "shed": shed,
+            "rejected": rejected,
+            "depth": self._queue.qsize(),
+        }
+
+    async def drain(self, *, flush_tail: bool = False) -> dict:
+        """Stop admitting, flush the queue, take the final checkpoint.
+
+        Args:
+            flush_tail: also close the trailing partial stride
+                (end-of-stream semantics, matching what
+                ``api.cluster_stream`` does when its input ends). Leave
+                ``False`` to drain for a restart: the partial batch is
+                checkpointed as-is and the resumed session continues the
+                stream exactly where it stopped.
+
+        Returns ``{"stride", "ingested", "checkpointed"}``.
+        """
+        self.draining = True
+        if self.failed is None:
+            await self._queue.join()  # writer has fed everything enqueued
+            if flush_tail and self.failed is None:
+                if self.supervisor.finish():
+                    self._publish()
+            # The writer may have died on an item it dequeued during the
+            # join; never checkpoint a failed session.
+            path = None if self.failed else self.supervisor.final_checkpoint()
+        else:
+            path = None
+        self.drained = True
+        return {
+            "stride": self.view.stride,
+            "ingested": self.ingested,
+            "checkpointed": path is not None,
+        }
+
+    # ------------------------------------------------------------- the writer
+
+    async def _writer_loop(self) -> None:
+        """The single writer: dequeue, feed, publish. Nothing else mutates."""
+        while True:
+            item = await self._queue.get()
+            if item is _CLOSE:
+                self._queue.task_done()
+                return
+            try:
+                results = self.supervisor.feed(item)
+            except ReproError as exc:
+                self.failed = f"{type(exc).__name__}: {exc}"
+                self._queue.task_done()
+                self._discard_queue()
+                return
+            if self.journal is not None:
+                self.journal.append(item)
+            self.ingested += 1
+            if results:
+                self._publish()
+            self._queue.task_done()
+            if results:
+                # A stride boundary is the natural scheduling point: let
+                # pending readers observe the freshly published view before
+                # the next batch of writes.
+                await asyncio.sleep(0)
+
+    def _discard_queue(self) -> None:
+        """Unblock join()/producers after a writer failure."""
+        while True:
+            try:
+                self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+            self._queue.task_done()
+
+    def _publish(self) -> None:
+        """Build an immutable view from live state and swap it in atomically.
+
+        Runs between strides in the writer task (or during start/drain, when
+        the writer is idle), so it reads a quiescent clusterer. The view is
+        complete before the single reference assignment below — the only
+        "lock" the read path needs.
+        """
+        clusterer = self.supervisor.clusterer
+        if clusterer is None:  # pragma: no cover - publish before begin()
+            return
+        clustering = clusterer.snapshot()
+        state = clusterer.state
+        cores = tuple(
+            (pid, rec.coords, clustering.label_of(pid))
+            for pid, rec in state.records.items()
+            if state.is_core(rec) and rec.cid is not None
+        )
+        self.view = SessionView(
+            self.supervisor.stride - 1, clustering, self.config.eps, cores
+        )
+
+    # ------------------------------------------------------------- read side
+
+    def require_healthy(self) -> None:
+        """Raise when the writer has died (strict-policy fault etc.)."""
+        if self.failed is not None:
+            raise ServeError(
+                "session-failed", f"session {self.name!r} failed: {self.failed}"
+            )
+
+    def stats(self) -> dict:
+        """Operational counters for the ``STATS`` frame."""
+        supervisor_stats = self.supervisor.stats
+        payload = {
+            "session": self.name,
+            "stride": self.view.stride,
+            "window_points": self.view.clustering.num_points,
+            "clusters": self.view.clustering.num_clusters,
+            "queue_depth": self._queue.qsize(),
+            "queue_limit": self.config.queue_limit,
+            "backpressure": self.config.backpressure,
+            "received": self.received,
+            "ingested": self.ingested,
+            "shed": self.shed,
+            "rejected": self.rejected,
+            "skipped_replay": self.skipped_replay,
+            "queries": self.queries,
+            "draining": self.draining,
+            "drained": self.drained,
+            "failed": self.failed,
+            "runtime": supervisor_stats.as_dict(),
+            "config": self.config.as_dict(),
+        }
+        if self.tracer is not None:
+            payload["trace"] = self.tracer.aggregate.latency_summary()
+        return payload

@@ -1,0 +1,189 @@
+"""The serving kill -9 drill: a real server process, really killed.
+
+This is the subsystem's end-to-end durability proof, run against the actual
+``python -m repro serve`` entry point over real TCP:
+
+1. start a server, open durable tenants, feed ~60% of each stream;
+2. ``SIGKILL`` the process — no drain, no atexit, nothing;
+3. start a fresh server with ``--resume``, replay each stream **from the
+   beginning** (the session swallows the checkpointed prefix itself);
+4. drain with tail flush and compare the final snapshot against an
+   uninterrupted offline ``api.cluster_stream`` run — byte identical.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.api import cluster_stream
+from repro.common.config import WindowSpec
+from repro.serve.client import ServeClient
+
+from .conftest import clustered_stream
+
+EPS, TAU = 0.8, 4
+WINDOW, STRIDE = 120, 30
+CONFIG = {
+    "eps": EPS,
+    "tau": TAU,
+    "window": WINDOW,
+    "stride": STRIDE,
+    "backpressure": "block",  # the lossless policy: exact replay is defined
+    "checkpoint_every": 2,
+}
+TENANTS = {
+    "tenant-a": lambda: clustered_stream(41, 300),
+    "tenant-b": lambda: clustered_stream(42, 300),
+}
+READY = re.compile(r"serve: listening on ([\d.]+):(\d+)")
+
+
+def offline_final_labels(points):
+    spec = WindowSpec(window=WINDOW, stride=STRIDE)
+    last = None
+    for snapshot, _ in cluster_stream(points, spec, eps=EPS, tau=TAU):
+        last = snapshot
+    return {str(pid): cid for pid, cid in last.labels.items()}
+
+
+def start_server(data_dir, *, resume=False):
+    """Launch ``python -m repro serve`` on a free port; return (proc, port)."""
+    argv = [
+        sys.executable,
+        "-m",
+        "repro",
+        "serve",
+        "--host",
+        "127.0.0.1",
+        "--port",
+        "0",
+        "--data-dir",
+        str(data_dir),
+    ]
+    if resume:
+        argv.append("--resume")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(SRC_DIR), env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.Popen(
+        argv,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    deadline = time.monotonic() + 15
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        match = READY.search(line)
+        if match:
+            return proc, int(match.group(2))
+    proc.kill()
+    raise RuntimeError("server never printed its ready line")
+
+
+SRC_DIR = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+
+async def feed(port, streams, *, upto=None):
+    """Open every tenant and ingest its stream (or a prefix) over TCP."""
+    async with await ServeClient.connect("127.0.0.1", port) as client:
+        replay_offsets = {}
+        for name, points in streams.items():
+            opened = await client.open_session(name, CONFIG, resume="auto")
+            replay_offsets[name] = opened["replay_offset"]
+            cut = len(points) if upto is None else upto
+            for i in range(0, cut, 50):
+                await client.ingest(name, points[i : min(i + 50, cut)])
+        return replay_offsets
+
+
+async def drain_and_snapshot(port, names):
+    async with await ServeClient.connect("127.0.0.1", port) as client:
+        snapshots = {}
+        for name in names:
+            await client.drain(name, flush_tail=True)
+            snapshots[name] = await client.snapshot(name)
+        return snapshots
+
+
+@pytest.mark.chaos
+def test_sigkill_then_resume_matches_offline(tmp_path):
+    streams = {name: make() for name, make in TENANTS.items()}
+    cut = 180  # ~60% of each stream, deliberately not a checkpoint boundary
+
+    # Life 1: feed a prefix, then die without any grace whatsoever.
+    proc, port = start_server(tmp_path)
+    try:
+        asyncio.run(feed(port, streams, upto=cut))
+        # Ask for stats so we know the queues have drained into checkpoints
+        # at least up to the last periodic boundary before the kill.
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=10)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+    # Life 2: resume everything, replay each stream from the beginning.
+    proc, port = start_server(tmp_path, resume=True)
+    try:
+        offsets = asyncio.run(feed(port, streams))
+        snapshots = asyncio.run(drain_and_snapshot(port, sorted(streams)))
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+    for name, points in streams.items():
+        # The resumed session swallowed a checkpointed prefix rather than
+        # re-clustering it...
+        assert 0 < offsets[name] <= cut, f"{name}: no state survived the kill"
+        # ...and the final labels equal one uninterrupted offline run.
+        assert snapshots[name]["labels"] == offline_final_labels(points), (
+            f"{name}: served labels diverged from offline after kill/resume"
+        )
+        assert snapshots[name]["stride"] == 300 // STRIDE - 1  # exact strides
+
+
+@pytest.mark.chaos
+def test_graceful_sigterm_drains_to_resumable_state(tmp_path):
+    """SIGTERM (not SIGKILL) mid-stream: the drain path itself must leave a
+    checkpoint precise enough that a resumed server replays zero points."""
+    points = clustered_stream(43, 290)  # 9 strides + 20 pending at the cut
+    cut = 200
+
+    proc, port = start_server(tmp_path)
+    try:
+        asyncio.run(feed(port, {"tenant-g": points}, upto=cut))
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        proc.wait(timeout=15)
+
+    proc, port = start_server(tmp_path, resume=True)
+    try:
+        offsets = asyncio.run(feed(port, {"tenant-g": points}))
+        snapshots = asyncio.run(drain_and_snapshot(port, ["tenant-g"]))
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+    # The graceful drain checkpointed *everything* fed before the TERM —
+    # mid-batch state included — so the replay offset is exactly the cut.
+    assert offsets["tenant-g"] == cut
+    assert snapshots["tenant-g"]["labels"] == offline_final_labels(points)

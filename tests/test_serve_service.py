@@ -1,0 +1,171 @@
+"""ClusterService: tenant registry, durability layout, metrics sinks."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve import ServeError, SessionConfig
+from repro.serve.service import ClusterService
+
+from .conftest import clustered_stream
+
+CONFIG = SessionConfig(eps=0.8, tau=4, window=120, stride=30, checkpoint_every=2)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestRegistry:
+    def test_open_get_close(self, tmp_path):
+        async def scenario():
+            service = ClusterService(data_dir=tmp_path)
+            session = service.open("alpha", CONFIG)
+            assert service.get("alpha") is session
+            await service.close("alpha")
+            with pytest.raises(ServeError) as err:
+                service.get("alpha")
+            assert err.value.code == "no-such-session"
+
+        run(scenario())
+
+    def test_reopen_same_config_is_idempotent(self, tmp_path):
+        async def scenario():
+            service = ClusterService(data_dir=tmp_path)
+            first = service.open("alpha", CONFIG)
+            assert service.open("alpha", CONFIG) is first  # reattach
+            await service.shutdown()
+
+        run(scenario())
+
+    def test_reopen_conflicting_config_is_refused(self, tmp_path):
+        async def scenario():
+            service = ClusterService(data_dir=tmp_path)
+            service.open("alpha", CONFIG)
+            other = SessionConfig(eps=1.5, tau=3, window=60, stride=20)
+            with pytest.raises(ServeError) as err:
+                service.open("alpha", other)
+            assert err.value.code == "session-exists"
+            await service.shutdown()
+
+        run(scenario())
+
+    @pytest.mark.parametrize(
+        "name", ["", ".hidden", "a/b", "a b", "-dash", "x" * 65, "é"]
+    )
+    def test_bad_names_are_refused(self, name, tmp_path):
+        async def scenario():
+            service = ClusterService(data_dir=tmp_path)
+            with pytest.raises(ServeError) as err:
+                service.open(name, CONFIG)
+            assert err.value.code == "bad-request"
+
+        run(scenario())
+
+    def test_draining_service_refuses_opens(self, tmp_path):
+        async def scenario():
+            service = ClusterService(data_dir=tmp_path)
+            service.open("alpha", CONFIG)
+            await service.shutdown()
+            with pytest.raises(ServeError) as err:
+                service.open("beta", CONFIG)
+            assert err.value.code == "draining"
+
+        run(scenario())
+
+    def test_stats_aggregates_across_tenants(self, tmp_path):
+        async def scenario():
+            service = ClusterService(data_dir=tmp_path)
+            for name in ("alpha", "beta"):
+                session = service.open(name, CONFIG)
+                await session.offer(clustered_stream(1, 50))
+            stats = service.stats()
+            assert stats["sessions"] == ["alpha", "beta"]
+            assert stats["received"] == 100
+            assert "version" in stats
+            await service.shutdown()
+
+        run(scenario())
+
+
+class TestDurability:
+    def test_layout_and_metadata(self, tmp_path):
+        async def scenario():
+            service = ClusterService(data_dir=tmp_path)
+            session = service.open("alpha", CONFIG)
+            await session.offer(clustered_stream(2, 120))
+            await service.shutdown(flush_tail=False)
+
+        run(scenario())
+        meta = json.loads((tmp_path / "alpha" / "session.json").read_text())
+        assert SessionConfig.from_dict(meta["config"]) == CONFIG
+        assert list((tmp_path / "alpha" / "ckpt").glob("checkpoint-*.json"))
+
+    def test_resume_all_restores_every_tenant(self, tmp_path):
+        points = {name: clustered_stream(i, 240) for i, name in enumerate(["a1", "a2"])}
+
+        async def first_life():
+            service = ClusterService(data_dir=tmp_path)
+            for name, stream in points.items():
+                session = service.open(name, CONFIG)
+                await session.offer(stream)
+            # Simulate a crash: drain queues so checkpoints exist, but do
+            # not CLOSE (the dirs stay behind either way).
+            await service.shutdown(flush_tail=False)
+
+        async def second_life():
+            service = ClusterService(data_dir=tmp_path)
+            resumed = service.resume_all()
+            assert resumed == ["a1", "a2"]
+            offsets = {n: service.get(n).replay_offset for n in resumed}
+            await service.shutdown()
+            return offsets
+
+        run(first_life())
+        offsets = run(second_life())
+        assert offsets == {"a1": 240, "a2": 240}
+
+    def test_resume_all_without_data_dir_is_empty(self):
+        async def scenario():
+            return ClusterService().resume_all()
+
+        assert run(scenario()) == []
+
+    def test_ephemeral_service_writes_nothing(self, tmp_path):
+        async def scenario():
+            service = ClusterService()  # no data_dir
+            session = service.open("alpha", CONFIG)
+            await session.offer(clustered_stream(3, 120))
+            report = await service.shutdown(flush_tail=False)
+            assert report["alpha"]["checkpointed"] is False
+
+        run(scenario())
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestObservability:
+    def test_metrics_and_trace_sinks_are_written(self, tmp_path):
+        metrics_dir = tmp_path / "metrics"
+        trace_dir = tmp_path / "trace"
+
+        async def scenario():
+            service = ClusterService(
+                data_dir=tmp_path / "data",
+                metrics_dir=metrics_dir,
+                trace_dir=trace_dir,
+            )
+            session = service.open("alpha", CONFIG)
+            await session.offer(clustered_stream(4, 120))
+            stats = await asyncio.to_thread(session.stats)
+            assert "trace" not in stats or True  # stats() works with a tracer
+            await service.shutdown()
+
+        run(scenario())
+        prom = (metrics_dir / "alpha.prom").read_text()
+        assert "disc_build_info" in prom
+        trace_lines = (trace_dir / "alpha.jsonl").read_text().splitlines()
+        assert len(trace_lines) == 4  # one record per stride (120/30)
+        assert all(json.loads(line)["stride"] >= 0 for line in trace_lines)

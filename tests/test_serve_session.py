@@ -1,0 +1,244 @@
+"""Tenant-session semantics: backpressure, equivalence, drain, failure.
+
+The acceptance bar: under *every* backpressure policy, a served session's
+per-stride labels are byte-identical to ``api.cluster_stream`` run over the
+same post-admission point sequence (the session journal).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.api import cluster_stream
+from repro.common.config import WindowSpec
+from repro.datasets.io import MalformedRecord
+from repro.serve import ServeError, SessionConfig, TenantSession
+
+from .conftest import clustered_stream
+
+EPS, TAU = 0.8, 4
+
+
+def make_config(**overrides) -> SessionConfig:
+    base = dict(eps=EPS, tau=TAU, window=120, stride=30)
+    base.update(overrides)
+    return SessionConfig(**base)
+
+
+def record_views(session: TenantSession) -> list:
+    """Capture every published view, in publication order."""
+    views = []
+    original = session._publish
+
+    def capture():
+        original()
+        views.append(session.view)
+
+    session._publish = capture
+    return views
+
+
+def offline_label_history(points, config: SessionConfig) -> list[dict]:
+    spec = WindowSpec(window=config.window, stride=config.stride)
+    return [
+        dict(snapshot.labels)
+        for snapshot, _ in cluster_stream(
+            points, spec, eps=config.eps, tau=config.tau
+        )
+    ]
+
+
+async def drive_session(config, points, *, batch=17, drain=True, flush_tail=True):
+    """Offer ``points`` to a fresh session in batches; return the evidence."""
+    session = TenantSession("t", config, journal=[])
+    views = record_views(session)
+    session.start()
+    outcomes = []
+    for i in range(0, len(points), batch):
+        outcomes.append(await session.offer(points[i : i + batch]))
+    if drain:
+        await session.drain(flush_tail=flush_tail)
+    await session.close()
+    return session, views, outcomes
+
+
+class TestPolicyEquivalence:
+    """Served labels == offline labels on the post-admission sequence."""
+
+    def check_policy(self, policy, queue_limit=2048, batch=17):
+        points = clustered_stream(11, 450)
+        config = make_config(backpressure=policy, queue_limit=queue_limit)
+        session, views, _ = asyncio.run(
+            drive_session(config, points, batch=batch)
+        )
+        # Everything the writer consumed, in order — under `block` that is
+        # the whole stream; under shed/reject a subsequence.
+        journal = session.journal
+        assert journal, "writer consumed nothing"
+        served = [dict(v.clustering.labels) for v in views]
+        assert served == offline_label_history(journal, config)
+        return session, journal, points
+
+    def test_block_policy_is_lossless_and_exact(self):
+        session, journal, points = self.check_policy("block")
+        assert journal == points  # block never drops
+        assert session.shed == session.rejected == 0
+
+    def test_shed_oldest_policy_is_exact_on_survivors(self):
+        # A tiny queue and large bursts force shedding: put_nowait never
+        # yields to the writer inside a burst, so the queue overflows.
+        session, journal, points = self.check_policy(
+            "shed-oldest", queue_limit=8, batch=64
+        )
+        assert session.shed > 0
+        assert len(journal) + session.shed == len(points)
+
+    def test_reject_policy_is_exact_on_survivors(self):
+        session, journal, points = self.check_policy(
+            "reject", queue_limit=8, batch=64
+        )
+        assert session.rejected > 0
+        assert len(journal) + session.rejected == len(points)
+
+    def test_admission_outcomes_add_up(self):
+        points = clustered_stream(12, 300)
+        config = make_config(backpressure="reject", queue_limit=16)
+        session, _, outcomes = asyncio.run(
+            drive_session(config, points, batch=40)
+        )
+        accepted = sum(o["accepted"] for o in outcomes)
+        rejected = sum(o["rejected"] for o in outcomes)
+        assert accepted + rejected == len(points) == session.received
+        assert session.ingested == accepted  # drained queue: all consumed
+
+
+class TestViews:
+    def test_initial_view_is_empty(self):
+        session = TenantSession("t", make_config())
+        assert session.view.stride == -1
+        assert session.view.clustering.num_points == 0
+        assert session.view.classify((0.0, 0.0))["label"] == -1
+
+    def test_views_are_published_per_stride(self):
+        points = clustered_stream(13, 300)
+        config = make_config()
+        _, views, _ = asyncio.run(drive_session(config, points))
+        assert [v.stride for v in views] == list(range(len(views)))
+        assert len(views) == 300 // config.stride
+
+    def test_view_membership_and_classify_agree_with_snapshot(self):
+        points = clustered_stream(14, 240)
+        config = make_config()
+        session, views, _ = asyncio.run(drive_session(config, points))
+        view = views[-1]
+        clustering = view.clustering
+        for pid, cid in clustering.labels.items():
+            assert view.membership(pid)["label"] == cid
+        # Every core classifies to its own cluster (distance 0).
+        for pid, coords, label in view.cores:
+            result = view.classify(coords)
+            assert result["label"] == label
+            assert result["distance"] == 0.0
+
+    def test_classify_out_of_range_is_noise(self):
+        points = clustered_stream(15, 240)
+        _, views, _ = asyncio.run(drive_session(make_config(), points))
+        result = views[-1].classify((1e6, 1e6))
+        assert result["label"] == -1
+        assert result["nearest_core"] is None
+
+
+class TestDrain:
+    def test_drain_without_tail_flush_keeps_partial_batch(self):
+        points = clustered_stream(16, 310)  # 10 full strides + 10 pending
+        config = make_config()
+        session, views, _ = asyncio.run(
+            drive_session(config, points, flush_tail=False)
+        )
+        assert views[-1].stride == 9  # the pending 10 points closed no stride
+        assert session.ingested == 310
+
+    def test_drain_with_tail_flush_matches_end_of_stream(self):
+        points = clustered_stream(16, 310)
+        config = make_config()
+        session, views, _ = asyncio.run(
+            drive_session(config, points, flush_tail=True)
+        )
+        assert views[-1].stride == 10  # tail stride closed
+        assert [dict(v.clustering.labels) for v in views] == (
+            offline_label_history(points, config)
+        )
+
+    def test_ingest_after_drain_is_rejected(self):
+        async def scenario():
+            session = TenantSession("t", make_config())
+            session.start()
+            await session.offer(clustered_stream(17, 60))
+            await session.drain()
+            outcome = await session.offer(clustered_stream(17, 30, start_id=60))
+            await session.close()
+            return session, outcome
+
+        session, outcome = asyncio.run(scenario())
+        assert outcome["accepted"] == 0
+        assert outcome["rejected"] == 30
+        assert session.drained
+
+
+class TestFailure:
+    def test_strict_policy_fault_fails_the_session(self):
+        async def scenario():
+            session = TenantSession("t", make_config(on_malformed="strict"))
+            session.start()
+            bad = MalformedRecord(0, "garbage", "unparsable")
+            await session.offer([bad])
+            await session.drain()  # must not hang on a dead writer
+            await session.close()
+            return session
+
+        session = asyncio.run(scenario())
+        assert session.failed is not None
+        with pytest.raises(ServeError) as err:
+            session.require_healthy()
+        assert err.value.code == "session-failed"
+
+    def test_skip_policy_survives_malformed_items(self):
+        async def scenario():
+            session = TenantSession(
+                "t", make_config(on_malformed="skip"), journal=[]
+            )
+            session.start()
+            stream = list(clustered_stream(18, 120))
+            stream.insert(40, MalformedRecord(40, "garbage", "unparsable"))
+            await session.offer(stream)
+            await session.drain(flush_tail=True)
+            await session.close()
+            return session
+
+        session = asyncio.run(scenario())
+        assert session.failed is None
+        assert session.supervisor.stats.points_dead_lettered == 1
+        # The journal holds the raw consumed sequence including the bad
+        # record; the offline run under the same policy must agree.
+        config = make_config(on_malformed="skip")
+        spec = WindowSpec(window=config.window, stride=config.stride)
+        offline = [
+            dict(snapshot.labels)
+            for snapshot, _ in cluster_stream(
+                session.journal, spec, eps=EPS, tau=TAU, on_malformed="skip"
+            )
+        ]
+        assert dict(session.view.clustering.labels) == offline[-1]
+
+    def test_stats_shape(self):
+        points = clustered_stream(19, 240)
+        config = make_config(backpressure="reject")
+        session, _, _ = asyncio.run(drive_session(config, points))
+        stats = session.stats()
+        assert stats["session"] == "t"
+        assert stats["stride"] == session.view.stride
+        assert stats["backpressure"] == "reject"
+        assert stats["runtime"]["strides"] == session.view.stride + 1
+        assert stats["config"] == config.as_dict()

@@ -1,0 +1,149 @@
+"""The Supervisor's push-style API: begin/feed/finish and final_checkpoint.
+
+The serving layer drives a Supervisor point by point from a queue, so the
+push path must reproduce the pull path (:meth:`Supervisor.run`) exactly —
+same strides, same snapshots, same checkpoint boundaries. ``final_checkpoint``
+is the drain hook: it must capture mid-batch state such that a resumed run
+replays zero points.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import WindowSpec
+from repro.common.errors import ConfigurationError
+from repro.runtime.supervisor import Supervisor
+from repro.runtime.store import CheckpointStore
+
+from .conftest import clustered_stream
+
+EPS, TAU = 0.8, 4
+SPEC = WindowSpec(window=120, stride=30)
+
+
+def label_history(results):
+    return [dict(snapshot.labels) for snapshot, _ in results]
+
+
+class TestPushPullEquivalence:
+    def test_feed_finish_matches_run(self):
+        points = clustered_stream(3, 400)
+        pull = list(Supervisor(EPS, TAU, SPEC).run(points))
+
+        push_sup = Supervisor(EPS, TAU, SPEC)
+        push_sup.begin()
+        push = []
+        for point in points:
+            push.extend(push_sup.feed(point))
+        push.extend(push_sup.finish())
+
+        assert label_history(push) == label_history(pull)
+        assert [s.num_clusters for s, _ in push] == [
+            s.num_clusters for s, _ in pull
+        ]
+
+    def test_push_checkpoints_at_same_boundaries(self, tmp_path):
+        points = clustered_stream(4, 400)
+        pull_sup = Supervisor(
+            EPS, TAU, SPEC, store=str(tmp_path / "pull"), checkpoint_every=2
+        )
+        list(pull_sup.run(points))
+
+        push_sup = Supervisor(
+            EPS, TAU, SPEC, store=str(tmp_path / "push"), checkpoint_every=2
+        )
+        push_sup.begin()
+        for point in points:
+            push_sup.feed(point)
+        push_sup.finish()
+
+        assert (
+            pull_sup.stats.checkpoints_written
+            == push_sup.stats.checkpoints_written
+        )
+        pull_names = [p.name for p in CheckpointStore(tmp_path / "pull").checkpoints()]
+        push_names = [p.name for p in CheckpointStore(tmp_path / "push").checkpoints()]
+        assert pull_names == push_names
+
+    def test_feed_before_begin_raises(self):
+        supervisor = Supervisor(EPS, TAU, SPEC)
+        with pytest.raises(ConfigurationError):
+            supervisor.feed(clustered_stream(1, 1)[0])
+        with pytest.raises(ConfigurationError):
+            supervisor.finish()
+
+    def test_begin_resume_returns_offset(self, tmp_path):
+        points = clustered_stream(5, 300)
+        first = Supervisor(
+            EPS, TAU, SPEC, store=str(tmp_path), checkpoint_every=1
+        )
+        list(first.run(points))
+        seen = first.stats.points_seen
+
+        resumed = Supervisor(
+            EPS, TAU, SPEC, store=str(tmp_path), checkpoint_every=1
+        )
+        assert resumed.begin(resume=True) == seen
+
+
+class TestFinalCheckpoint:
+    def test_without_store_is_noop(self):
+        supervisor = Supervisor(EPS, TAU, SPEC)
+        supervisor.begin()
+        assert supervisor.final_checkpoint() is None
+
+    def test_before_begin_is_noop(self, tmp_path):
+        supervisor = Supervisor(EPS, TAU, SPEC, store=str(tmp_path))
+        assert supervisor.final_checkpoint() is None
+
+    def test_captures_mid_batch_state(self, tmp_path):
+        """The drain hook persists a partially filled stride batch."""
+        points = clustered_stream(6, 310)  # 310 = 10 full strides + 10 pending
+        supervisor = Supervisor(
+            EPS, TAU, SPEC, store=str(tmp_path), checkpoint_every=1000
+        )
+        supervisor.begin()
+        for point in points:
+            supervisor.feed(point)
+        path = supervisor.final_checkpoint()
+        assert path is not None and path.exists()
+        assert supervisor.stats.points_seen == 310
+
+    def test_drained_then_resumed_replays_zero_points(self, tmp_path):
+        """The DRAIN-during-checkpoint ordering fix, by construction.
+
+        A session drained via final_checkpoint() and then resumed must
+        skip every point it already consumed — the checkpoint's
+        stream_offset covers the full pre-drain stream, pending partial
+        batch included — and continuing the stream afterwards must be
+        byte-identical to one uninterrupted run.
+        """
+        points = clustered_stream(7, 500)
+        cut = 310  # mid-batch: not a stride boundary
+
+        # Uninterrupted reference run.
+        reference = list(Supervisor(EPS, TAU, SPEC).run(points))
+
+        # Phase 1: serve-then-drain.
+        first = Supervisor(
+            EPS, TAU, SPEC, store=str(tmp_path), checkpoint_every=7
+        )
+        first.begin()
+        part_one = []
+        for point in points[:cut]:
+            part_one.extend(first.feed(point))
+        assert first.final_checkpoint() is not None
+
+        # Phase 2: resume; the offset must cover *everything* drained.
+        second = Supervisor(
+            EPS, TAU, SPEC, store=str(tmp_path), checkpoint_every=7
+        )
+        offset = second.begin(resume=True)
+        assert offset == cut, "drained checkpoint must replay zero points"
+        part_two = []
+        for point in points[cut:]:
+            part_two.extend(second.feed(point))
+        part_two.extend(second.finish())
+
+        assert label_history(part_one + part_two) == label_history(reference)

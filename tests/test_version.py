@@ -1,0 +1,69 @@
+"""Single-sourced version: pyproject, the package, the CLI, the exporters."""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import repro
+from repro._version import _from_pyproject, resolve_version
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+VERSION_RE = re.compile(r"^\d+\.\d+(\.\d+)?")
+
+
+def pyproject_version() -> str:
+    text = (REPO_ROOT / "pyproject.toml").read_text(encoding="utf-8")
+    return re.search(r'^version\s*=\s*"([^"]+)"', text, re.MULTILINE).group(1)
+
+
+class TestSingleSource:
+    def test_package_version_matches_pyproject(self):
+        assert repro.__version__ == pyproject_version()
+
+    def test_version_looks_like_a_version(self):
+        assert VERSION_RE.match(repro.__version__)
+
+    def test_pyproject_fallback_parser(self):
+        assert _from_pyproject() == pyproject_version()
+
+    def test_resolve_version_never_empty(self):
+        assert resolve_version()
+
+
+class TestSurfaces:
+    def test_cli_version_flag(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "--version"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert result.returncode == 0
+        assert repro.__version__ in result.stdout
+
+    def test_prometheus_exporter_emits_build_info(self, tmp_path):
+        from repro.observability import PrometheusTextfileExporter
+        from repro.observability.trace import StrideTrace
+
+        exporter = PrometheusTextfileExporter(tmp_path / "out.prom")
+        exporter.emit(StrideTrace(stride=0))
+        exporter.close()
+        text = (tmp_path / "out.prom").read_text()
+        assert f'disc_build_info{{version="{repro.__version__}"}} 1' in text
+
+    def test_serve_stats_frame_carries_version(self):
+        import asyncio
+
+        from repro.serve.server import dispatch
+        from repro.serve.service import ClusterService
+
+        async def scenario():
+            return await dispatch(ClusterService(), {"op": "STATS", "id": 1})
+
+        response = asyncio.run(scenario())
+        assert response["ok"] is True
+        assert response["version"] == repro.__version__
