@@ -1,0 +1,120 @@
+"""Storage-layout benchmark: columnar PointStore vs per-record objects.
+
+PR 6 replaced the one-Python-object-per-point window state with the
+struct-of-arrays :class:`~repro.core.store.PointStore`. This bench drives
+the *same* steady-state workload through both layouts (``DISC(store=...)``)
+on the vectorized grid backend and records stride latency (p50/p95) plus
+the resident bytes of the per-point state, as
+``benchmarks/results/BENCH_state.json``. The acceptance floor for the PR is
+a >= 1.5x p50 stride speedup on the vectorgrid backend; the JSON is the
+durable record CI archives.
+
+Correctness is asserted here too: both layouts must produce identical
+labels (the full equivalence surface lives in tests/test_store_equivalence).
+"""
+
+import json
+import os
+import sys
+import time
+
+from _workloads import dataset_stream, scaled, spec_for, stream_length
+
+from repro.bench.harness import prefill, steady_slides
+from repro.bench.reporting import RESULTS_DIR, write_result
+from repro.core.disc import DISC
+from repro.datasets.registry import DATASETS
+from repro.observability import percentile
+
+N_MEASURED = 16
+STRIDE_RATIO = 0.10
+BACKEND = "vectorgrid"
+
+
+def resident_state_bytes(disc: DISC) -> int:
+    """Bytes held by the per-point window state (not the spatial index)."""
+    state = disc.state
+    arena = state.columnar()
+    if arena is not None:
+        return arena.nbytes() + sys.getsizeof(arena._slot_of)
+    total = sys.getsizeof(state.records)
+    for pid, rec in state.records.items():
+        total += sys.getsizeof(rec)
+        total += sys.getsizeof(rec.coords)
+        total += sum(sys.getsizeof(c) for c in rec.coords)
+    return total
+
+
+def _measure(layout: str):
+    info = DATASETS["maze"]
+    spec = spec_for(scaled(info.window), STRIDE_RATIO)
+    points = list(dataset_stream("maze", stream_length(spec, N_MEASURED)))
+    window_points, slides = steady_slides(points, spec, N_MEASURED)
+
+    disc = DISC(info.eps, info.tau, index=BACKEND, store=layout)
+    prefill(disc, window_points, spec)
+    elapsed = []
+    for delta_in, delta_out in slides:
+        start = time.perf_counter()
+        disc.advance(delta_in, delta_out)
+        elapsed.append(time.perf_counter() - start)
+    return {
+        "mean_ms": sum(elapsed) / len(elapsed) * 1000,
+        "p50_ms": percentile(elapsed, 50) * 1000,
+        "p95_ms": percentile(elapsed, 95) * 1000,
+        "resident_state_bytes": resident_state_bytes(disc),
+        "window_points": len(disc),
+        "labels": disc.snapshot().labels,
+    }
+
+
+def run_state_layout():
+    legacy = _measure("object")
+    columnar = _measure("columnar")
+    # The layouts must be observationally identical before speed counts.
+    assert columnar.pop("labels") == legacy.pop("labels")
+    speedup = (
+        legacy["p50_ms"] / columnar["p50_ms"] if columnar["p50_ms"] > 0 else 0.0
+    )
+    payload = {
+        "workload": f"maze @ {STRIDE_RATIO:.0%} stride",
+        "backend": BACKEND,
+        "n_measured": N_MEASURED,
+        "object": legacy,
+        "columnar": columnar,
+        "p50_speedup": round(speedup, 3),
+        "bytes_ratio": round(
+            legacy["resident_state_bytes"]
+            / max(1, columnar["resident_state_bytes"]),
+            3,
+        ),
+    }
+    path = os.path.join(os.path.abspath(RESULTS_DIR), "BENCH_state.json")
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return payload, path
+
+
+def test_state_layout(benchmark):
+    payload, path = benchmark.pedantic(run_state_layout, rounds=1, iterations=1)
+    lines = [
+        f"State layout (maze @ {STRIDE_RATIO:.0%} stride, {BACKEND} backend):",
+        f"  object:   p50 {payload['object']['p50_ms']:.3f} ms/stride "
+        f"(p95 {payload['object']['p95_ms']:.3f}), "
+        f"{payload['object']['resident_state_bytes']:,} state bytes",
+        f"  columnar: p50 {payload['columnar']['p50_ms']:.3f} ms/stride "
+        f"(p95 {payload['columnar']['p95_ms']:.3f}), "
+        f"{payload['columnar']['resident_state_bytes']:,} state bytes",
+        f"  p50 speedup: {payload['p50_speedup']:.2f}x "
+        f"(state bytes: {payload['bytes_ratio']:.2f}x smaller)",
+        f"[json written to {path}]",
+    ]
+    write_result("state_layout", "\n".join(lines))
+
+
+if __name__ == "__main__":
+    payload, path = run_state_layout()
+    print(json.dumps(payload, indent=2))
+    print(f"written to {path}")

@@ -3,13 +3,40 @@
 All clusterers and indexes in this library agree on plain Euclidean distance.
 Hot paths work with *squared* distances to avoid square roots; the epsilon
 threshold is squared once up front by callers.
+
+:func:`dists_to_many` is the one batch kernel every vectorized index backend
+shares — a single implementation keeps the floating-point evaluation order
+(and therefore borderline eps decisions) identical across backends.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
 
+import numpy as np
+
 Coords = tuple[float, ...]
+
+
+def dists_to_many(centers, points) -> np.ndarray:
+    """Squared Euclidean distances from center(s) to a batch of points.
+
+    Args:
+        centers: one coordinate vector ``(d,)`` or a batch ``(m, d)``.
+        points: candidate matrix ``(n, d)``.
+
+    Returns:
+        ``(n,)`` squared distances for a single center, ``(m, n)`` for a
+        batch. Squared — compare against ``eps * eps``; callers that need
+        true distances take one ``sqrt`` at the end.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    ctr = np.asarray(centers, dtype=np.float64)
+    if ctr.ndim == 1:
+        diff = pts - ctr
+        return np.einsum("ij,ij->i", diff, diff)
+    diff = ctr[:, None, :] - pts[None, :, :]
+    return np.einsum("ijk,ijk->ij", diff, diff)
 
 
 def squared_distance(a: Sequence[float], b: Sequence[float]) -> float:

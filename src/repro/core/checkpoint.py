@@ -1,14 +1,22 @@
 """Checkpointing DISC's window state for fault tolerance.
 
 A stream processor that dies mid-stream should not have to replay a whole
-window. :func:`to_checkpoint` captures everything DISC needs — per-point
-records, the cluster-id forest, the generation counters, and the name of the
-index backend the run was using — as a JSON-friendly dict;
+window. :func:`to_checkpoint` captures everything DISC needs — the per-point
+state columns, the cluster-id forest, the generation counters, and the name
+of the index backend the run was using — as a JSON-friendly dict;
 :func:`from_checkpoint` validates the payload *before* building anything,
 rebuilds the same backend through the index registry (bulk-loading via the
 batched ``insert_many`` layer, which STR-packs on the R-tree), and returns a
 DISC that continues the stream with byte-identical results to an
 uninterrupted run.
+
+Format version 3 serializes the :class:`~repro.core.store.PointStore`
+columns directly — one JSON array per column, rows in window insertion
+order, with ``-1`` encoding the ``None`` of ``cid``/``anchor`` and the
+``flags`` bitfield carrying ``was_core`` (deleted rows never reach a
+checkpoint). Both storage layouts emit the identical v3 payload. Versions 1
+and 2 carried one object per record; they restore byte-identically onto
+either layout (covered by tests/test_checkpoint.py).
 
 The durable envelope around these payloads (CRC, atomic writes, rotation)
 lives in :mod:`repro.runtime.store`; this module owns only the logical
@@ -19,22 +27,25 @@ from __future__ import annotations
 
 import json
 
+import numpy as np
+
 from repro.common.errors import ReproError
 from repro.core.disc import DISC
 from repro.core.state import PointRecord
+from repro.core.store import DELETED, NO_ID, WAS_CORE
 
-CHECKPOINT_VERSION = 2
+CHECKPOINT_VERSION = 3
 
 #: Versions this build can restore. Version 1 predates the index registry
 #: and carries no backend name; it restores onto the default backend.
-SUPPORTED_VERSIONS = (1, 2)
+#: Versions 1-2 carry per-record objects instead of columns.
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 _REQUIRED_KEYS = (
     "eps",
     "tau",
     "multi_starter",
     "epoch_probing",
-    "records",
     "cid_parents",
     "cid_next",
 )
@@ -46,6 +57,17 @@ _REQUIRED_RECORD_KEYS = (
     "n_eps",
     "c_core",
     "was_core",
+    "cid",
+    "anchor",
+)
+
+_COLUMN_KEYS = (
+    "pid",
+    "coords",
+    "time",
+    "n_eps",
+    "c_core",
+    "flags",
     "cid",
     "anchor",
 )
@@ -62,24 +84,38 @@ def to_checkpoint(disc: DISC) -> dict:
     checkpoint taken between strides holds live points only.
     """
     state = disc.state
-    records = []
-    for rec in state.records.values():
-        if rec.deleted:
+    arena = state.columnar()
+    if arena is not None:
+        slots = arena.live_slots()
+        if len(slots) and np.any(arena.flags[slots] & DELETED):
             raise CheckpointError(
                 "checkpoint mid-stride: deleted record still present"
             )
-        records.append(
-            {
-                "pid": rec.pid,
-                "coords": list(rec.coords),
-                "time": rec.time,
-                "n_eps": rec.n_eps,
-                "c_core": rec.c_core,
-                "was_core": rec.was_core,
-                "cid": rec.cid,
-                "anchor": rec.anchor,
-            }
-        )
+        columns = {
+            "pid": arena.pid[slots].tolist(),
+            "coords": arena.coords[slots].tolist(),
+            "time": arena.time[slots].tolist(),
+            "n_eps": arena.n_eps[slots].tolist(),
+            "c_core": arena.c_core[slots].tolist(),
+            "flags": arena.flags[slots].astype(int).tolist(),
+            "cid": arena.cid[slots].tolist(),
+            "anchor": arena.anchor[slots].tolist(),
+        }
+    else:
+        columns = {key: [] for key in _COLUMN_KEYS}
+        for rec in state.records.values():
+            if rec.deleted:
+                raise CheckpointError(
+                    "checkpoint mid-stride: deleted record still present"
+                )
+            columns["pid"].append(rec.pid)
+            columns["coords"].append(list(rec.coords))
+            columns["time"].append(rec.time)
+            columns["n_eps"].append(rec.n_eps)
+            columns["c_core"].append(rec.c_core)
+            columns["flags"].append(int(WAS_CORE) if rec.was_core else 0)
+            columns["cid"].append(NO_ID if rec.cid is None else rec.cid)
+            columns["anchor"].append(NO_ID if rec.anchor is None else rec.anchor)
     cids = state.cids
     return {
         "version": CHECKPOINT_VERSION,
@@ -88,10 +124,25 @@ def to_checkpoint(disc: DISC) -> dict:
         "index": disc.params.index,
         "multi_starter": disc.multi_starter,
         "epoch_probing": disc.epoch_probing,
-        "records": records,
+        "columns": columns,
         "cid_parents": {str(k): v for k, v in cids._parent.items()},
         "cid_next": cids._next_id,
     }
+
+
+def _validate_coords(i: int, coords, dim: int | None) -> int:
+    if not isinstance(coords, (list, tuple)) or not coords:
+        raise CheckpointError(
+            f"checkpoint record {i} has invalid coords {coords!r}"
+        )
+    if dim is None:
+        return len(coords)
+    if len(coords) != dim:
+        raise CheckpointError(
+            f"checkpoint record {i} is {len(coords)}-dimensional; "
+            f"earlier records are {dim}-dimensional"
+        )
+    return dim
 
 
 def _validate(payload: dict) -> None:
@@ -104,19 +155,31 @@ def _validate(payload: dict) -> None:
             f"{', '.join(str(v) for v in SUPPORTED_VERSIONS)}"
         )
     missing = [key for key in _REQUIRED_KEYS if key not in payload]
+    if version >= 3:
+        if "columns" not in payload:
+            missing.append("columns")
+    elif "records" not in payload:
+        missing.append("records")
     if missing:
         raise CheckpointError(
             f"checkpoint is missing required keys: {', '.join(missing)}"
         )
-    if not isinstance(payload["records"], list):
-        raise CheckpointError("checkpoint 'records' must be a list")
     index = payload.get("index")
     if index is not None and not isinstance(index, str):
         raise CheckpointError(
             f"checkpoint 'index' must be a backend name or null, got {index!r}"
         )
+    if version >= 3:
+        _validate_columns(payload["columns"])
+    else:
+        _validate_records(payload["records"])
+
+
+def _validate_records(records) -> None:
+    if not isinstance(records, list):
+        raise CheckpointError("checkpoint 'records' must be a list")
     dim: int | None = None
-    for i, entry in enumerate(payload["records"]):
+    for i, entry in enumerate(records):
         if not isinstance(entry, dict):
             raise CheckpointError(f"checkpoint record {i} is not an object")
         missing = [key for key in _REQUIRED_RECORD_KEYS if key not in entry]
@@ -124,22 +187,53 @@ def _validate(payload: dict) -> None:
             raise CheckpointError(
                 f"checkpoint record {i} is missing keys: {', '.join(missing)}"
             )
-        coords = entry["coords"]
-        if not isinstance(coords, (list, tuple)) or not coords:
+        dim = _validate_coords(i, entry["coords"], dim)
+
+
+def _validate_columns(columns) -> None:
+    if not isinstance(columns, dict):
+        raise CheckpointError("checkpoint 'columns' must be an object")
+    missing = [key for key in _COLUMN_KEYS if key not in columns]
+    if missing:
+        raise CheckpointError(
+            f"checkpoint columns are missing keys: {', '.join(missing)}"
+        )
+    lengths = {key: len(columns[key]) for key in _COLUMN_KEYS}
+    if len(set(lengths.values())) > 1:
+        raise CheckpointError(
+            "checkpoint columns have mismatched lengths: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(lengths.items()))
+        )
+    dim: int | None = None
+    for i, coords in enumerate(columns["coords"]):
+        dim = _validate_coords(i, coords, dim)
+    for i, flags in enumerate(columns["flags"]):
+        if not isinstance(flags, int) or flags & ~int(WAS_CORE):
             raise CheckpointError(
-                f"checkpoint record {i} has invalid coords {coords!r}"
-            )
-        if dim is None:
-            dim = len(coords)
-        elif len(coords) != dim:
-            raise CheckpointError(
-                f"checkpoint record {i} (pid {entry['pid']!r}) is "
-                f"{len(coords)}-dimensional; earlier records are "
-                f"{dim}-dimensional"
+                f"checkpoint record {i} has invalid flags {flags!r}"
             )
 
 
-def from_checkpoint(payload: dict) -> DISC:
+def _columns_from_records(records: list[dict]) -> dict:
+    """Lift a v1/v2 per-record payload into the v3 column layout."""
+    return {
+        "pid": [entry["pid"] for entry in records],
+        "coords": [entry["coords"] for entry in records],
+        "time": [entry["time"] for entry in records],
+        "n_eps": [entry["n_eps"] for entry in records],
+        "c_core": [entry["c_core"] for entry in records],
+        "flags": [int(WAS_CORE) if entry["was_core"] else 0 for entry in records],
+        "cid": [
+            NO_ID if entry["cid"] is None else entry["cid"] for entry in records
+        ],
+        "anchor": [
+            NO_ID if entry["anchor"] is None else entry["anchor"]
+            for entry in records
+        ],
+    }
+
+
+def from_checkpoint(payload: dict, *, store: str = "columnar") -> DISC:
     """Rebuild a DISC instance from :func:`to_checkpoint` output.
 
     The payload is validated up front (version, required keys, coordinate
@@ -147,7 +241,8 @@ def from_checkpoint(payload: dict) -> DISC:
     before any state exists to corrupt. The spatial index is rebuilt on the
     backend named in the payload via the registry, using the batched
     ``insert_many`` layer so backends with bulk machinery (STR packing on
-    the R-tree) load fast.
+    the R-tree) load fast. ``store`` picks the storage layout of the
+    restored instance; any supported payload restores onto either layout.
     """
     if not isinstance(payload, dict):
         raise CheckpointError(
@@ -161,25 +256,14 @@ def from_checkpoint(payload: dict) -> DISC:
             index=payload.get("index"),
             multi_starter=payload["multi_starter"],
             epoch_probing=payload["epoch_probing"],
+            store=store,
         )
+        if payload["version"] >= 3:
+            columns = payload["columns"]
+        else:
+            columns = _columns_from_records(payload["records"])
+        _populate(disc, columns)
         state = disc.state
-        items = []
-        for entry in payload["records"]:
-            rec = PointRecord(
-                int(entry["pid"]),
-                tuple(float(c) for c in entry["coords"]),
-                float(entry["time"]),
-            )
-            rec.n_eps = int(entry["n_eps"])
-            rec.c_core = int(entry["c_core"])
-            rec.was_core = bool(entry["was_core"])
-            rec.cid = entry["cid"] if entry["cid"] is None else int(entry["cid"])
-            rec.anchor = (
-                entry["anchor"] if entry["anchor"] is None else int(entry["anchor"])
-            )
-            state.records[rec.pid] = rec
-            items.append((rec.pid, rec.coords))
-        disc.index.insert_many(items)
         parents = {
             int(k): int(v) for k, v in payload["cid_parents"].items()
         }
@@ -192,6 +276,37 @@ def from_checkpoint(payload: dict) -> DISC:
     except (KeyError, TypeError, ValueError) as exc:
         raise CheckpointError(f"malformed checkpoint: {exc}") from exc
     return disc
+
+
+def _populate(disc: DISC, columns: dict) -> None:
+    """Load the state columns into the new instance's storage layout."""
+    state = disc.state
+    pids = [int(pid) for pid in columns["pid"]]
+    coords = [tuple(float(c) for c in row) for row in columns["coords"]]
+    times = [float(t) for t in columns["time"]]
+    arena = state.columnar()
+    if arena is not None:
+        slots = arena.bulk_insert(pids, coords, times)
+        if len(slots):
+            arena.n_eps[slots] = [int(v) for v in columns["n_eps"]]
+            arena.c_core[slots] = [int(v) for v in columns["c_core"]]
+            arena.cid[slots] = [int(v) for v in columns["cid"]]
+            arena.anchor[slots] = [int(v) for v in columns["anchor"]]
+            arena.flags[slots] = np.asarray(
+                [int(v) for v in columns["flags"]], dtype=np.uint8
+            )
+    else:
+        for i, pid in enumerate(pids):
+            rec = PointRecord(pid, coords[i], times[i])
+            rec.n_eps = int(columns["n_eps"][i])
+            rec.c_core = int(columns["c_core"][i])
+            rec.was_core = bool(int(columns["flags"][i]) & WAS_CORE)
+            cid = int(columns["cid"][i])
+            rec.cid = None if cid == NO_ID else cid
+            anchor = int(columns["anchor"][i])
+            rec.anchor = None if anchor == NO_ID else anchor
+            state.records[pid] = rec
+    disc.index.insert_many(list(zip(pids, coords)))
 
 
 def dumps(disc: DISC) -> str:

@@ -10,15 +10,148 @@ connectivity check needed, just label inspection.
 Every ex-core and every neo-core is range-searched exactly once across the
 whole step; those searches double as the maintenance pass for the border
 bookkeeping (``c_core`` and anchors, Section V of the paper).
+
+On the columnar :class:`~repro.core.store.PointStore` layout each range
+search result is processed as masked column operations over the ball's slot
+array instead of one record lookup per neighbour; the breadth-first
+traversal order itself is untouched. Because every ex-core and neo-core is
+scanned exactly once per phase, and the quantities that classify a
+neighbour (index membership, the ``DELETED``/``WAS_CORE`` flags and
+``n_eps``) are all static within a phase — the BFS only mutates ``c_core``,
+anchors and cluster ids — the columnar path prefetches *all* scan balls of
+a phase with one batched ``ball_many`` call and gathers their
+classification masks in one shot (:func:`_scan_plan`). All order-sensitive
+iteration (class seeds, claim settlement, bonding-root unions, repair
+scans) runs in sorted order so both storage layouts assign identical
+cluster ids.
 """
 
 from __future__ import annotations
 
 from collections import deque
 
+import numpy as np
+
 from repro.core.events import EvolutionEvent, EvolutionKind
 from repro.core.msbfs import check_connectivity
 from repro.core.state import WindowState
+from repro.core.store import DELETED, NO_ID, WAS_CORE
+
+
+def _make_on_border(state: WindowState):
+    """Border-anchor refresh callback for MS-BFS passes (Section V)."""
+    store = state.columnar()
+    if store is not None:
+        flags = store.flags
+        slot_of = store._slot_of
+
+        def on_border(border_pid: int, core_pid: int) -> None:
+            slot = slot_of[border_pid]
+            if flags[slot] & DELETED:
+                return
+            store.anchor[slot] = core_pid
+            state.repair.discard(border_pid)
+
+        return on_border
+    records = state.records
+
+    def on_border(border_pid: int, core_pid: int) -> None:
+        q = records[border_pid]
+        if q.deleted:
+            return
+        q.anchor = core_pid
+        state.repair.discard(border_pid)
+
+    return on_border
+
+
+def _scan_plan(store, index, pids, eps: float, tau: int) -> dict:
+    """Prefetch the scan balls of one CLUSTER phase in a single batched call.
+
+    Maps each pid to ``(qids, slots, deleted, was_core, core_now)`` — the
+    ball with the center filtered out, its slot array, and the three static
+    classification masks. Sound because within one phase the index
+    membership, the ``DELETED``/``WAS_CORE`` flags and ``n_eps`` never
+    change (the BFS mutates only ``c_core``, anchors and cluster ids), and
+    every member of ``pids`` is range-searched exactly once by the
+    sequential loop — so one ``ball_many`` over the deduplicated set leaves
+    the index-stats ledger identical to per-pop :meth:`ball` calls.
+    """
+    order = sorted(set(pids))
+    if not order:
+        return {}
+    centers = store.coords[store.slots_of(order)].tolist()
+    balls = index.ball_many_pids(centers, eps)
+    spans: list[tuple[int, list[int], int]] = []
+    flat: list[int] = []
+    for pid, ball in zip(order, balls):
+        qids = ball[ball != pid].tolist()
+        spans.append((pid, qids, len(flat)))
+        flat.extend(qids)
+    flat_slots = store.slots_of(flat) if flat else np.empty(0, dtype=np.int64)
+    return _plan_entries(store, tau, spans, flat_slots)
+
+
+def _plan_entries(store, tau: int, spans, flat_slots) -> dict:
+    """Slice one phase's flat classification masks into per-pid plan entries.
+
+    Every mask the scan bodies consume is derived here, once, over the
+    whole phase's concatenated balls — the per-expansion cost is then just
+    slicing views.
+    """
+    flags = store.flags[flat_slots]
+    deleted = (flags & DELETED) != 0
+    was_core = (flags & WAS_CORE) != 0
+    live = ~deleted
+    live_core = live & (store.n_eps[flat_slots] >= tau)
+    border = live ^ live_core  # live but not currently core
+    m_plus = live_core & was_core  # cores in both windows
+    fellow = live_core ^ m_plus  # cores only in the new window
+    retro_ext = was_core & ~live_core  # fellow ex-cores (incl. exited)
+    plan = {}
+    for pid, qids, lo in spans:
+        sl = slice(lo, lo + len(qids))
+        plan[pid] = (
+            qids,
+            flat_slots[sl],
+            live[sl],
+            live_core[sl],
+            border[sl],
+            m_plus[sl],
+            fellow[sl],
+            retro_ext[sl],
+        )
+    return plan
+
+
+def _scan_entry(store, index, pid: int, slot: int, eps: float, tau: int, plan: dict):
+    """A plan entry, or an equivalent one built on the fly for a pid the
+    phase discovered outside the prefetch set (defensive: classification is
+    static within the phase, so both routes agree)."""
+    entry = plan.get(pid)
+    if entry is not None:
+        return entry
+    ball = index.ball_pids(store.coords[slot].tolist(), eps)
+    qids = ball[ball != pid].tolist()
+    slots = store.slots_of(qids) if qids else np.empty(0, dtype=np.int64)
+    return _plan_entries(store, tau, [(pid, qids, 0)], slots)[pid]
+
+
+def _ordered_classes(pids: list[int]):
+    """Yield (seed, remaining-set) pairs in ascending-pid order.
+
+    Class consolidation consumes members from ``remaining`` as the BFS
+    reaches them; seeding in sorted order (rather than ``set.pop``) makes
+    class enumeration — and therefore fresh-cluster-id assignment —
+    independent of set-iteration internals, so both storage layouts produce
+    byte-identical output for the same stream.
+    """
+    remaining = set(pids)
+    for seed in sorted(remaining):
+        if seed not in remaining:
+            continue
+        remaining.discard(seed)
+        yield seed, remaining
 
 
 def process_ex_cores(
@@ -42,15 +175,9 @@ def process_ex_cores(
     eps = params.eps
     tau = params.tau
     records = state.records
+    store = state.columnar()
     events: list[EvolutionEvent] = []
-
-    def on_border(border_pid: int, core_pid: int) -> None:
-        """Refresh a border anchor when MS-BFS passes by (Section V)."""
-        q = records[border_pid]
-        if q.deleted:
-            return
-        q.anchor = core_pid
-        state.repair.discard(border_pid)
+    on_border = _make_on_border(state)
 
     # Old cluster ids retained this stride, mapped to representative cores of
     # the components that kept them. Needed because several retro classes may
@@ -63,10 +190,9 @@ def process_ex_cores(
     # check over the claimants.
     kept: dict[int, list[int]] = {}
     split_claimed: set[int] = set()
+    plan = _scan_plan(store, index, ex_cores, eps, tau) if store is not None else {}
 
-    remaining = set(ex_cores)
-    while remaining:
-        seed = remaining.pop()
+    for seed, remaining in _ordered_classes(ex_cores):
         # Breadth-first enumeration of the retro-reachability class R^-(seed);
         # the same searches collect the minimal bonding cores M^-(seed).
         retro = {seed}
@@ -81,6 +207,23 @@ def process_ex_cores(
         class_cid: int | None = None
         while queue:
             rid = queue.popleft()
+            if store is not None:
+                class_cid = _retro_scan_columnar(
+                    state,
+                    store,
+                    index,
+                    rid,
+                    eps,
+                    tau,
+                    retro,
+                    remaining,
+                    queue,
+                    bonding,
+                    bonding_seen,
+                    class_cid,
+                    plan,
+                )
+                continue
             rec_r = records[rid]
             if class_cid is None and rec_r.cid is not None:
                 class_cid = state.cids.find(rec_r.cid)
@@ -164,6 +307,84 @@ def process_ex_cores(
     return events
 
 
+def _retro_scan_columnar(
+    state: WindowState,
+    store,
+    index,
+    rid: int,
+    eps: float,
+    tau: int,
+    retro: set[int],
+    remaining: set[int],
+    queue: deque,
+    bonding: list[int],
+    bonding_seen: set[int],
+    class_cid: int | None,
+    plan: dict,
+) -> int | None:
+    """One retro-BFS expansion as masked column ops; returns ``class_cid``.
+
+    Sequencing note: within one ball the per-neighbour effects of the object
+    loop are independent of each other (each neighbour's counter, its own
+    anchor, and append-order-preserving set insertions), so splitting the
+    ball into phase-ordered batch operations — extend class, collect
+    bonding, decrement ``c_core``, invalidate anchors, then anchor the
+    demoted core itself — is exact.
+    """
+    r_slot = store.slot_of(rid)
+    raw_cid = int(store.cid[r_slot])
+    if class_cid is None and raw_cid != NO_ID:
+        class_cid = state.cids.find(raw_cid)
+    r_in_window = not (store.flags[r_slot] & DELETED)
+    if r_in_window:
+        # Demoted this stride: it no longer carries a core cid, and any old
+        # anchor value is meaningless.
+        store.cid[r_slot] = NO_ID
+        store.anchor[r_slot] = NO_ID
+    qids, slots, live, live_core, border, _m_plus, _fellow, retro_ext = _scan_entry(
+        store, index, rid, r_slot, eps, tau, plan
+    )
+    if not qids:
+        if r_in_window and store.c_core[r_slot] > 0:
+            state.repair.add(rid)
+        return class_cid
+    # Extend the retro class: lingering exited ex-cores and in-window
+    # ex-cores alike, preserving ball order for the BFS queue.
+    for j in retro_ext.nonzero()[0]:
+        qid = qids[j]
+        if qid not in retro:
+            retro.add(qid)
+            remaining.discard(qid)
+            queue.append(qid)
+    # Cores in both windows adjacent to R^-: the M^- members, in ball order.
+    for j in _m_plus.nonzero()[0]:
+        qid = qids[j]
+        if qid not in bonding_seen:
+            bonding_seen.add(qid)
+            bonding.append(qid)
+    if r_in_window:
+        # rid lost core status: its neighbours lose a core neighbour.
+        # (Exited ex-cores were already accounted for during COLLECT.)
+        store.c_core[slots[live]] -= 1
+        nc_slots = slots[border]
+        if len(nc_slots):
+            nulled = (store.anchor[nc_slots] == rid) | (store.c_core[nc_slots] == 0)
+            store.anchor[nc_slots[nulled]] = NO_ID
+            needs_repair = (store.c_core[nc_slots] > 0) & (
+                store.anchor[nc_slots] == NO_ID
+            )
+            if needs_repair.any():
+                state.repair.update(store.pid[nc_slots[needs_repair]].tolist())
+        # The demoted ex-core itself may become a border: first live core in
+        # ball order, exactly as the sequential loop assigns it.
+        anchor_candidates = live_core.nonzero()[0]
+        if len(anchor_candidates):
+            store.anchor[r_slot] = qids[int(anchor_candidates[0])]
+        elif store.c_core[r_slot] > 0:
+            state.repair.add(rid)
+    return class_cid
+
+
 def _claim(state: WindowState, kept: dict[int, list[int]], rep: int) -> int:
     """Record that ``rep``'s component retains its current cluster id."""
     cid = state.cids.find(state.records[rep].cid)
@@ -195,7 +416,7 @@ def _settle_claims(
     """
     records = state.records
     events: list[EvolutionEvent] = []
-    for cid in split_claimed:
+    for cid in sorted(split_claimed):
         reps = kept.get(cid, ())
         live = []
         seen: set[int] = set()
@@ -228,8 +449,7 @@ def _settle_claims(
         for component in result.exhausted:
             fresh = state.cids.make()
             new_cids.append(fresh)
-            for pid in component:
-                records[pid].cid = fresh
+            state.set_cids(component, fresh)
         events.append(
             EvolutionEvent(EvolutionKind.SPLIT, (cid, *new_cids), trigger=live[0])
         )
@@ -251,7 +471,6 @@ def _resolve_ex_class(
     trace=None,
 ) -> EvolutionEvent:
     """Decide split / shrink / dissipate for one retro class."""
-    records = state.records
     if not bonding:
         # No bonding cores: the retro class was the entire connected core
         # component, so nothing alive references its cluster id any more.
@@ -287,8 +506,7 @@ def _resolve_ex_class(
         cid = state.cids.make()
         new_cids.append(cid)
         kept[cid] = [component[0]]
-        for pid in component:
-            records[pid].cid = cid
+        state.set_cids(component, cid)
     survivor_cid = _claim(state, kept, result.survivor[0])
     split_claimed.add(survivor_cid)
     return EvolutionEvent(
@@ -309,11 +527,11 @@ def process_neo_cores(
     tau = params.tau
     records = state.records
     cids = state.cids
+    store = state.columnar()
     events: list[EvolutionEvent] = []
+    plan = _scan_plan(store, index, neo_cores, eps, tau) if store is not None else {}
 
-    remaining = set(neo_cores)
-    while remaining:
-        seed = remaining.pop()
+    for seed, remaining in _ordered_classes(neo_cores):
         if trace is not None:
             trace.nascent_classes += 1
         group = [seed]
@@ -322,6 +540,22 @@ def process_neo_cores(
         bonding_roots: set[int] = set()
         while queue:
             sid = queue.popleft()
+            if store is not None:
+                _nascent_scan_columnar(
+                    state,
+                    store,
+                    index,
+                    sid,
+                    eps,
+                    tau,
+                    seen,
+                    remaining,
+                    queue,
+                    group,
+                    bonding_roots,
+                    plan,
+                )
+                continue
             rec_s = records[sid]
             if rec_s.cid is not None:
                 # Pre-assigned by a split relabel earlier this stride; fold it
@@ -357,18 +591,79 @@ def process_neo_cores(
             cid = next(iter(bonding_roots))
             kind = EvolutionKind.EXPAND
         else:
-            roots = iter(bonding_roots)
+            # Sorted union order: merged-root identity must not depend on
+            # set-iteration internals (see _ordered_classes).
+            roots = iter(sorted(bonding_roots))
             cid = next(roots)
             for other in roots:
                 cid = cids.union(cid, other)
             kind = EvolutionKind.MERGE
-        for pid in group:
-            rec = records[pid]
-            rec.cid = cid
-            rec.anchor = None  # cores do not use anchors
-            state.repair.discard(pid)
+        if store is not None:
+            group_slots = store.slots_of(group)
+            store.cid[group_slots] = cid
+            store.anchor[group_slots] = NO_ID  # cores do not use anchors
+            state.repair.difference_update(group)
+        else:
+            for pid in group:
+                rec = records[pid]
+                rec.cid = cid
+                rec.anchor = None  # cores do not use anchors
+                state.repair.discard(pid)
         events.append(EvolutionEvent(kind, (cids.find(cid),), trigger=seed))
     return events
+
+
+def _nascent_scan_columnar(
+    state: WindowState,
+    store,
+    index,
+    sid: int,
+    eps: float,
+    tau: int,
+    seen: set[int],
+    remaining: set[int],
+    queue: deque,
+    group: list[int],
+    bonding_roots: set[int],
+    plan: dict,
+) -> None:
+    """One nascent-BFS expansion as masked column ops."""
+    cids = state.cids
+    s_slot = store.slot_of(sid)
+    raw = int(store.cid[s_slot])
+    if raw != NO_ID:
+        # Pre-assigned by a split relabel earlier this stride; fold it in so
+        # the final assignment stays consistent.
+        bonding_roots.add(cids.find(raw))
+    qids, slots, live, _live_core, border, m_plus, fellow, _retro_ext = _scan_entry(
+        store, index, sid, s_slot, eps, tau, plan
+    )
+    if not qids:
+        return
+    # sid gained core status: neighbours gain a core neighbour.
+    store.c_core[slots[live]] += 1
+    # Borders without an anchor adopt sid and leave the repair set.
+    nc_slots = slots[border]
+    if len(nc_slots):
+        adopt = nc_slots[store.anchor[nc_slots] == NO_ID]
+        if len(adopt):
+            store.anchor[adopt] = sid
+            state.repair.difference_update(store.pid[adopt].tolist())
+    # Cores in both windows: the M^+ members; read their labels.
+    m_slots = slots[m_plus]
+    if len(m_slots):
+        raw_cids = store.cid[m_slots]
+        assert not np.any(raw_cids == NO_ID), "old core lacks a cid"
+        for c in set(raw_cids.tolist()):
+            bonding_roots.add(cids.find(c))
+    # Fellow neo-cores extend the nascent class, in ball order.
+    for j in fellow.nonzero()[0]:
+        qid = qids[j]
+        if qid not in seen:
+            seen.add(qid)
+            remaining.discard(qid)
+            queue.append(qid)
+            group.append(qid)
 
 
 def repair_anchors(state: WindowState, index) -> int:
@@ -376,14 +671,19 @@ def repair_anchors(state: WindowState, index) -> int:
 
     Each repair costs one range search; the searches are mutation-free, so
     the whole repair set is issued as one batched ``ball_many`` call.
-    Returns the number of searches spent.
+    Returns the number of searches spent. The repair set is scanned in
+    sorted order so the pending list — and with it the index-stats ledger —
+    is identical on both storage layouts.
     """
+    store = state.columnar()
+    if store is not None:
+        return _repair_anchors_columnar(state, store, index)
     params = state.params
     eps = params.eps
     tau = params.tau
     records = state.records
     pending = []
-    for pid in state.repair:
+    for pid in sorted(state.repair):
         rec = records.get(pid)
         if rec is None or rec.deleted:
             continue
@@ -415,3 +715,53 @@ def repair_anchors(state: WindowState, index) -> int:
         )
     state.repair.clear()
     return len(pending)
+
+
+def _repair_anchors_columnar(state: WindowState, store, index) -> int:
+    eps = state.params.eps
+    tau = state.params.tau
+    pending_pids: list[int] = []
+    pending_slots: list[int] = []
+    for pid in sorted(state.repair):
+        slot = store.get_slot(pid)
+        if slot is None or (store.flags[slot] & DELETED):
+            continue
+        if store.n_eps[slot] >= tau or store.c_core[slot] <= 0:
+            continue  # became a core, or is plain noise: no anchor needed
+        anchor = int(store.anchor[slot])
+        if anchor != NO_ID:
+            a_slot = store.get_slot(anchor)
+            if (
+                a_slot is not None
+                and not (store.flags[a_slot] & DELETED)
+                and store.n_eps[a_slot] >= tau
+            ):
+                continue  # anchor is still a live core
+        store.anchor[slot] = NO_ID
+        pending_pids.append(pid)
+        pending_slots.append(slot)
+    balls = (
+        index.ball_many_pids(
+            store.coords[np.asarray(pending_slots, dtype=np.int64)].tolist(), eps
+        )
+        if pending_pids
+        else []
+    )
+    for pid, slot, neighbours in zip(pending_pids, pending_slots, balls):
+        qids = neighbours[neighbours != pid]
+        best = NO_ID
+        if len(qids):
+            slots = store.slots_of(qids.tolist())
+            core = ((store.flags[slots] & DELETED) == 0) & (store.n_eps[slots] >= tau)
+            if core.any():
+                # Lowest-pid core, not first-in-ball-order: ball traversal
+                # order depends on index shape, which differs after a
+                # checkpoint restore; the repaired anchor must not.
+                best = int(store.pid[slots[core]].min())
+        assert best != NO_ID, (
+            f"border {pid} has c_core={int(store.c_core[slot])} "
+            "but no core neighbour"
+        )
+        store.anchor[slot] = best
+    state.repair.clear()
+    return len(pending_pids)

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from collections.abc import Callable, Sequence
 
+import numpy as np
+
 from repro.common.config import ClusteringParams
 from repro.common.points import StreamPoint
 from repro.common.snapshot import Clustering
@@ -27,6 +29,7 @@ from repro.core.cluster import process_ex_cores, process_neo_cores, repair_ancho
 from repro.core.collect import collect
 from repro.core.events import StrideSummary
 from repro.core.state import WindowState
+from repro.core.store import WAS_CORE
 from repro.index.base import NeighborIndex
 from repro.index.registry import resolve_index
 
@@ -53,6 +56,12 @@ class DISC:
             compatibility.
         multi_starter: use MS-BFS for connectivity checks (Figure 8 knob).
         epoch_probing: use epoch-based index probing (Figure 8 knob).
+        store: per-point state layout — ``"columnar"`` (default) for the
+            struct-of-arrays :class:`~repro.core.store.PointStore` arena,
+            ``"object"`` for the classic one-record-per-point dict. Both
+            layouts produce identical clusterings; the object layout exists
+            as the reference for the equivalence suite and the layout
+            benchmark.
         tracer: optional :class:`~repro.observability.trace.Tracer`; when
             set, every ``advance`` produces one
             :class:`~repro.observability.trace.StrideTrace` with phase
@@ -72,12 +81,13 @@ class DISC:
         index_factory: Callable[[], NeighborIndex] | None = None,
         multi_starter: bool = True,
         epoch_probing: bool = True,
+        store: str = "columnar",
         tracer=None,
     ) -> None:
         self.params = ClusteringParams(
             eps, tau, index=index if isinstance(index, str) else None
         )
-        self.state = WindowState(self.params)
+        self.state = WindowState(self.params, store=store)
         self.index = resolve_index(
             index if index is not None else self.params.index,
             index_factory,
@@ -167,6 +177,9 @@ class DISC:
             trace.ex_cores = len(result.ex_cores)
             trace.neo_cores = len(result.neo_cores)
             trace.index = index.stats.snapshot() - stats_before
+            arena = state.columnar()
+            if arena is not None:
+                trace.store = arena.counters()
             for event in summary.events:
                 key = event.kind.value
                 trace.events[key] = trace.events.get(key, 0) + 1
@@ -175,10 +188,26 @@ class DISC:
 
     def _advance_generation(self, result) -> None:
         """Purge exited records and roll core flags into ``was_core``."""
+        tau = self.params.tau
+        arena = self.state.columnar()
+        if arena is not None:
+            arena.free(result.deleted_ids)
+            ex_slots = [
+                slot
+                for pid in result.ex_cores
+                if (slot := arena.get_slot(pid)) is not None
+            ]
+            if ex_slots:
+                arena.flags[np.asarray(ex_slots, dtype=np.int64)] &= ~WAS_CORE
+            if result.neo_cores:
+                neo_slots = arena.slots_of(result.neo_cores)
+                core = arena.n_eps[neo_slots] >= tau
+                arena.flags[neo_slots[core]] |= WAS_CORE
+                arena.flags[neo_slots[~core]] &= ~WAS_CORE
+            return
         records = self.state.records
         for pid in result.deleted_ids:
             del records[pid]
-        tau = self.params.tau
         for pid in result.ex_cores:
             rec = records.get(pid)
             if rec is not None:

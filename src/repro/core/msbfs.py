@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 
 from repro.common.disjointset import DisjointSet
 from repro.core.state import WindowState
+from repro.core.store import DELETED
 
 
 @dataclass
@@ -94,12 +95,24 @@ def check_connectivity(
     records = state.records
     tau = state.params.tau
     eps = state.params.eps
+    store = state.columnar()
 
     tick = index.new_tick() if epoch_probing else None
 
-    def is_core_pid(pid: int) -> bool:
-        rec = records[pid]
-        return not rec.deleted and rec.n_eps >= tau
+    if store is not None:
+        flags_col = store.flags
+        n_eps_col = store.n_eps
+        slot_of = store._slot_of
+
+        def is_core_pid(pid: int) -> bool:
+            slot = slot_of[pid]
+            return not (flags_col[slot] & DELETED) and n_eps_col[slot] >= tau
+
+    else:
+
+        def is_core_pid(pid: int) -> bool:
+            rec = records[pid]
+            return not rec.deleted and rec.n_eps >= tau
 
     def should_mark(pid: int) -> bool:
         # Mark non-cores at first sight; cores only at expansion (see above).
@@ -133,17 +146,79 @@ def check_connectivity(
         dead_order.append(root)
         del queues[root]
 
+    def merge_into(root: int, qid: int) -> int:
+        """Fold ``qid``'s group into ``root``'s; returns the merged root."""
+        other = owner.get(qid)
+        if other is None:
+            owner[qid] = root
+            members[root].append(qid)
+            queues[root].append(qid)
+            return root
+        other_root = groups.find(other)
+        root_now = groups.find(root)
+        if other_root != root_now:
+            if other_root in dead:
+                # Contact with an exhausted group proves it never was a
+                # separate component: bring it back before the union so
+                # queue/member bookkeeping (and the final component count)
+                # stay consistent.
+                members[other_root] = dead.pop(other_root)
+                dead_order.remove(other_root)
+                queues[other_root] = deque()
+                alive.add(other_root)
+            winner = groups.union(other_root, root_now)
+            loser = other_root if winner == root_now else root_now
+            queues[winner].extend(queues.pop(loser))
+            members[winner].extend(members.pop(loser))
+            alive.discard(loser)
+            root = winner
+            if trace is not None:
+                trace.msbfs_queue_merges += 1
+        return root
+
+    probe_pids = getattr(index, "ball_unvisited_pids", None)
+
     def expand(pid: int, group_root: int) -> int:
         """Expand one core vertex; returns the (possibly merged) group root."""
-        rec = records[pid]
         if trace is not None:
             trace.msbfs_expansions += 1
+        root = group_root
+        if store is not None:
+            # Columnar: ids-only probes (no candidate tuples), then scalar
+            # column reads per neighbour in exact ball order — the balls
+            # here are small enough that vectorized masking loses to two
+            # array lookups per point.
+            coords = store.coords[slot_of[pid]].tolist()
+            if epoch_probing:
+                if probe_pids is not None:
+                    qids = probe_pids(coords, eps, tick, should_mark)
+                else:  # native-epoch backend without an ids-only probe
+                    qids = [
+                        qid
+                        for qid, _ in index.ball_unvisited(
+                            coords, eps, tick, should_mark
+                        )
+                    ]
+                index.mark(pid, tick)
+            else:
+                qids = index.ball_pids(coords, eps).tolist()
+            for qid in qids:
+                if qid == pid:
+                    continue
+                slot = slot_of[qid]
+                if flags_col[slot] & DELETED:
+                    continue
+                if n_eps_col[slot] >= tau:
+                    root = merge_into(root, qid)
+                elif on_border is not None:
+                    on_border(qid, pid)
+            return root
+        coords = records[pid].coords
         if epoch_probing:
-            neighbours = index.ball_unvisited(rec.coords, eps, tick, should_mark)
+            neighbours = index.ball_unvisited(coords, eps, tick, should_mark)
             index.mark(pid, tick)
         else:
-            neighbours = index.ball(rec.coords, eps)
-        root = group_root
+            neighbours = index.ball(coords, eps)
         for qid, _ in neighbours:
             if qid == pid:
                 continue
@@ -151,32 +226,7 @@ def check_connectivity(
             if q.deleted:
                 continue
             if q.n_eps >= tau:
-                other = owner.get(qid)
-                if other is None:
-                    owner[qid] = root
-                    members[root].append(qid)
-                    queues[root].append(qid)
-                    continue
-                other_root = groups.find(other)
-                root_now = groups.find(root)
-                if other_root != root_now:
-                    if other_root in dead:
-                        # Contact with an exhausted group proves it never
-                        # was a separate component: bring it back before
-                        # the union so queue/member bookkeeping (and the
-                        # final component count) stay consistent.
-                        members[other_root] = dead.pop(other_root)
-                        dead_order.remove(other_root)
-                        queues[other_root] = deque()
-                        alive.add(other_root)
-                    winner = groups.union(other_root, root_now)
-                    loser = other_root if winner == root_now else root_now
-                    queues[winner].extend(queues.pop(loser))
-                    members[winner].extend(members.pop(loser))
-                    alive.discard(loser)
-                    root = winner
-                    if trace is not None:
-                        trace.msbfs_queue_merges += 1
+                root = merge_into(root, qid)
             elif on_border is not None:
                 on_border(qid, pid)
         return root

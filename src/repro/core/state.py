@@ -6,16 +6,30 @@ core status plus the *previous* window's core status (``was_core``), its
 cluster id for cores, and the border machinery — ``c_core`` (how many current
 cores lie within epsilon) and ``anchor`` (one such core, through which the
 border's cluster id is resolved). See DESIGN.md §3.3.
+
+Two storage layouts back the same state API:
+
+* ``columnar`` (default) — a struct-of-arrays :class:`~repro.core.store.PointStore`
+  arena; ``records`` is a :class:`~repro.core.store.RecordMap` of transient
+  :class:`~repro.core.store.RecordView` proxies, and the COLLECT/CLUSTER hot
+  paths bypass the proxies entirely with batched column operations.
+* ``object`` — the classic one-``PointRecord``-per-point dict, kept as the
+  reference implementation for the equivalence suite and the layout
+  benchmark. Both layouts are required to produce byte-identical output
+  (tests/test_store_equivalence.py).
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable
 
+import numpy as np
+
 from repro.common.config import ClusteringParams
 from repro.common.disjointset import DisjointSet
 from repro.common.errors import StreamOrderError
 from repro.common.snapshot import Category, Clustering
+from repro.core.store import DELETED, NO_ID, PointStore, RecordMap
 
 Coords = tuple[float, ...]
 
@@ -49,7 +63,8 @@ class PointRecord:
     def __repr__(self) -> str:
         return (
             f"PointRecord(pid={self.pid}, n={self.n_eps}, c_core={self.c_core}, "
-            f"was_core={self.was_core}, cid={self.cid}, deleted={self.deleted})"
+            f"was_core={self.was_core}, cid={self.cid}, anchor={self.anchor}, "
+            f"deleted={self.deleted}, time={self.time})"
         )
 
 
@@ -59,31 +74,60 @@ class WindowState:
     The spatial index lives next to this object inside
     :class:`~repro.core.disc.DISC`; this class only owns the records so the
     COLLECT/CLUSTER functions can be tested against it in isolation.
+
+    Args:
+        params: epsilon/tau (and backend) configuration.
+        store: ``"columnar"`` for the :class:`~repro.core.store.PointStore`
+            arena (default), ``"object"`` for one ``PointRecord`` per point.
     """
 
-    def __init__(self, params: ClusteringParams) -> None:
+    def __init__(self, params: ClusteringParams, store: str = "columnar") -> None:
         self.params = params
-        self.records: dict[int, PointRecord] = {}
+        if store == "columnar":
+            self.store: PointStore | None = PointStore()
+            self.records = RecordMap(self.store)
+        elif store == "object":
+            self.store = None
+            self.records = {}
+        else:
+            raise ValueError(f"unknown store layout: {store!r}")
         self.cids = DisjointSet()
         # Non-core points whose border anchor was invalidated this stride and
         # needs one repair range search at the end of CLUSTER.
         self.repair: set[int] = set()
 
-    def is_core(self, rec: PointRecord) -> bool:
+    @property
+    def store_kind(self) -> str:
+        return "object" if self.store is None else "columnar"
+
+    def columnar(self) -> PointStore | None:
+        """The backing arena when the columnar fast paths may be used.
+
+        Tests are allowed to swap ``state.records`` for a plain dict of
+        stand-alone records; the generic per-record code handles that, but
+        the batched column paths must then stand down.
+        """
+        store = self.store
+        if store is not None and isinstance(self.records, RecordMap):
+            if self.records.store is store:
+                return store
+        return None
+
+    def is_core(self, rec) -> bool:
         """Current core status, derived from the live neighbour count."""
         return not rec.deleted and rec.n_eps >= self.params.tau
 
-    def get(self, pid: int) -> PointRecord:
+    def get(self, pid: int):
         try:
             return self.records[pid]
         except KeyError:
             raise StreamOrderError(f"point {pid} is not in the window") from None
 
-    def live_records(self) -> Iterable[PointRecord]:
+    def live_records(self) -> Iterable:
         """Records of points currently inside the window."""
         return (rec for rec in self.records.values() if not rec.deleted)
 
-    def category_of(self, rec: PointRecord) -> Category:
+    def category_of(self, rec) -> Category:
         if rec.deleted:
             return Category.DELETED
         if rec.n_eps >= self.params.tau:
@@ -92,7 +136,7 @@ class WindowState:
             return Category.BORDER
         return Category.NOISE
 
-    def resolved_cid(self, rec: PointRecord) -> int:
+    def resolved_cid(self, rec) -> int:
         """Cluster id of a core or border record, resolved through union-find."""
         if self.is_core(rec):
             assert rec.cid is not None, f"core {rec.pid} has no cluster id"
@@ -105,6 +149,17 @@ class WindowState:
         assert anchor.cid is not None
         return self.cids.find(anchor.cid)
 
+    def set_cids(self, pids: Iterable[int], cid: int | None) -> None:
+        """Assign one raw cluster id to a batch of points."""
+        store = self.columnar()
+        if store is not None:
+            slots = store.slots_of(pids)
+            store.cid[slots] = NO_ID if cid is None else cid
+            return
+        records = self.records
+        for pid in pids:
+            records[pid].cid = cid
+
     def compact_cids(self) -> int:
         """Rebuild the cluster-id forest keeping only live roots.
 
@@ -116,11 +171,31 @@ class WindowState:
         """
         fresh = DisjointSet()
         live_roots: set[int] = set()
-        for rec in self.records.values():
-            if rec.cid is not None and not rec.deleted:
-                root = self.cids.find(rec.cid)
-                rec.cid = root
-                live_roots.add(root)
+        store = self.columnar()
+        if store is not None:
+            # One vectorized pass: find the root of each *distinct* live id,
+            # then remap the whole cid column through the unique-inverse.
+            slots = store.live_slots()
+            if len(slots):
+                mask = (store.cid[slots] != NO_ID) & (
+                    (store.flags[slots] & DELETED) == 0
+                )
+                slots = slots[mask]
+            if len(slots):
+                uniq, inverse = np.unique(store.cid[slots], return_inverse=True)
+                roots = np.fromiter(
+                    (self.cids.find(int(c)) for c in uniq),
+                    dtype=np.int64,
+                    count=len(uniq),
+                )
+                store.cid[slots] = roots[inverse]
+                live_roots.update(roots.tolist())
+        else:
+            for rec in self.records.values():
+                if rec.cid is not None and not rec.deleted:
+                    root = self.cids.find(rec.cid)
+                    rec.cid = root
+                    live_roots.add(root)
         for root in live_roots:
             fresh.find(root)  # registers the id as its own singleton
         # Never reuse an id: carry the counter forward.
@@ -130,6 +205,9 @@ class WindowState:
 
     def snapshot(self) -> Clustering:
         """Freeze the current labels into a :class:`Clustering`."""
+        store = self.columnar()
+        if store is not None:
+            return self._snapshot_columnar(store)
         labels: dict[int, int] = {}
         categories: dict[int, Category] = {}
         for rec in self.live_records():
@@ -137,4 +215,55 @@ class WindowState:
             categories[rec.pid] = category
             if category in (Category.CORE, Category.BORDER):
                 labels[rec.pid] = self.resolved_cid(rec)
+        return Clustering(labels, categories)
+
+    def _snapshot_columnar(self, store: PointStore) -> Clustering:
+        """Column-sliced snapshot: category masks plus a unique-cid remap."""
+        tau = self.params.tau
+        slots = store.live_slots()
+        if len(slots):
+            slots = slots[(store.flags[slots] & DELETED) == 0]
+        if not len(slots):
+            return Clustering({}, {})
+        pids = store.pid[slots].tolist()
+        core_mask = store.n_eps[slots] >= tau
+        border_mask = ~core_mask & (store.c_core[slots] > 0)
+
+        # Resolve roots once per distinct raw id, not once per point.
+        def resolve(raw_cids: np.ndarray) -> list[int]:
+            if not len(raw_cids):
+                return []
+            uniq, inverse = np.unique(raw_cids, return_inverse=True)
+            roots = np.fromiter(
+                (self.cids.find(int(c)) for c in uniq),
+                dtype=np.int64,
+                count=len(uniq),
+            )
+            return roots[inverse].tolist()
+
+        core_slots = slots[core_mask]
+        core_raw = store.cid[core_slots]
+        assert not np.any(core_raw == NO_ID), "core without a cluster id"
+        core_pids = store.pid[core_slots].tolist()
+        core_labels = resolve(core_raw)
+
+        border_slots = slots[border_mask]
+        border_anchors = store.anchor[border_slots]
+        assert not np.any(border_anchors == NO_ID), "border without an anchor"
+        anchor_slots = store.slots_of(border_anchors.tolist())
+        border_pids = store.pid[border_slots].tolist()
+        border_labels = resolve(store.cid[anchor_slots])
+
+        labels = dict(zip(core_pids, core_labels))
+        labels.update(zip(border_pids, border_labels))
+        categories = {
+            pid: (
+                Category.CORE
+                if is_core
+                else (Category.BORDER if is_border else Category.NOISE)
+            )
+            for pid, is_core, is_border in zip(
+                pids, core_mask.tolist(), border_mask.tolist()
+            )
+        }
         return Clustering(labels, categories)

@@ -1,0 +1,412 @@
+"""Columnar (struct-of-arrays) storage for per-point window state.
+
+The object layout of :class:`~repro.core.state.PointRecord` — one Python
+object per point, one attribute chase per field — is what made COLLECT's
+``n_eps``/``c_core`` maintenance and stride expiry the dominant cost of a
+window advance. :class:`PointStore` replaces it with a struct-of-arrays
+arena: one numpy column per field, grown in fixed-size slabs, with a
+free-list recycling slots on expiry so a steady-state stream never
+reallocates. The COLLECT/CLUSTER hot paths operate on whole index arrays
+(``np.add.at`` over every neighbour of a stride at once) instead of touching
+records one by one; everything else goes through the
+:class:`RecordView`/:class:`RecordMap` façade, which preserves the classic
+per-record API on top of the columns.
+
+Layout (one row per resident point):
+
+====== ========= =====================================================
+column dtype     meaning
+====== ========= =====================================================
+pid    int64     stream point id (also the key of the pid -> slot map)
+coords float64xd point coordinates (d fixed by the first insert)
+time   float64   stream timestamp
+n_eps  int64     epsilon-neighbour count, self included
+c_core int64     current-core neighbours, self excluded
+cid    int64     raw cluster id; ``-1`` encodes "no id" (None)
+anchor int64     anchoring core pid for borders; ``-1`` encodes None
+flags  uint8     bitfield: ``WAS_CORE`` (bit 0), ``DELETED`` (bit 1)
+====== ========= =====================================================
+
+Core status is *derived* (``n_eps >= tau``), never stored — exactly as in
+the object layout. See DESIGN.md §3.3 and docs/performance.md.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+#: flags bit: the point was a core at the end of the previous stride.
+WAS_CORE = np.uint8(1)
+#: flags bit: the point exited the window (ex-cores linger until CLUSTER ends).
+DELETED = np.uint8(2)
+
+#: Rows added per slab. Growth doubles in slab units, so the arena reaches
+#: any window size in O(log n) reallocations and steady state in none.
+SLAB_SLOTS = 1024
+
+#: Sentinel for "no cluster id" / "no anchor" in the int64 columns.
+NO_ID = -1
+
+#: Keys of :meth:`PointStore.counters`, in emission order. The observability
+#: schema and the Prometheus exporter treat these as gauges (point-in-time
+#: occupancy, not per-stride deltas).
+COUNTER_FIELDS = (
+    "slots",
+    "capacity",
+    "slabs",
+    "free",
+    "recycled",
+    "high_water",
+    "occupancy",
+)
+
+
+class PointStore:
+    """Struct-of-arrays arena for every point in (or just leaving) the window.
+
+    Slots are recycled through a free-list: expiry pushes a row's slot, the
+    next insert pops it, and a pid's slot never changes while the point is
+    resident (``pid -> slot`` is stable across other points' expiry — the
+    property the batched mutators and any future sharding rely on).
+
+    Args:
+        dim: coordinate dimensionality; lazily fixed by the first insert
+            when omitted.
+    """
+
+    def __init__(self, dim: int | None = None) -> None:
+        self.dim = dim
+        self.capacity = 0
+        self.coords = np.empty((0, dim if dim is not None else 0), dtype=np.float64)
+        self.time = np.empty(0, dtype=np.float64)
+        self.pid = np.empty(0, dtype=np.int64)
+        self.n_eps = np.empty(0, dtype=np.int64)
+        self.c_core = np.empty(0, dtype=np.int64)
+        self.cid = np.empty(0, dtype=np.int64)
+        self.anchor = np.empty(0, dtype=np.int64)
+        self.flags = np.empty(0, dtype=np.uint8)
+        # pid -> slot; insertion-ordered (Python dict), which keeps iteration
+        # order identical to the object layout's records dict.
+        self._slot_of: dict[int, int] = {}
+        self._free: list[int] = []
+        self.recycled_total = 0
+        self.high_water = 0
+
+    # ------------------------------------------------------------------ sizing
+
+    def __len__(self) -> int:
+        """Number of resident rows (live points plus lingering ex-cores)."""
+        return len(self._slot_of)
+
+    def __contains__(self, pid: int) -> bool:
+        return pid in self._slot_of
+
+    @property
+    def slabs(self) -> int:
+        return self.capacity // SLAB_SLOTS
+
+    def counters(self) -> dict:
+        """Occupancy counters for the observability layer."""
+        in_use = len(self._slot_of)
+        return {
+            "slots": in_use,
+            "capacity": self.capacity,
+            "slabs": self.slabs,
+            "free": len(self._free),
+            "recycled": self.recycled_total,
+            "high_water": self.high_water,
+            "occupancy": (in_use / self.capacity) if self.capacity else 0.0,
+        }
+
+    def nbytes(self) -> int:
+        """Resident bytes of all columns (the arena's memory footprint)."""
+        return sum(
+            col.nbytes
+            for col in (
+                self.coords,
+                self.time,
+                self.pid,
+                self.n_eps,
+                self.c_core,
+                self.cid,
+                self.anchor,
+                self.flags,
+            )
+        )
+
+    def _grow(self, need: int) -> None:
+        """Extend every column so at least ``need`` free slots exist."""
+        shortfall = need - (self.capacity - self.high_water + len(self._free))
+        if shortfall <= 0:
+            return
+        add = max(self.capacity, SLAB_SLOTS)
+        while add < shortfall:
+            add += add
+        add = -(-add // SLAB_SLOTS) * SLAB_SLOTS  # round up to whole slabs
+        new_cap = self.capacity + add
+        dim = self.dim if self.dim is not None else 0
+        coords = np.zeros((new_cap, dim), dtype=np.float64)
+        coords[: self.capacity] = self.coords
+        self.coords = coords
+        for name in ("time", "pid", "n_eps", "c_core", "cid", "anchor", "flags"):
+            old = getattr(self, name)
+            fresh = np.zeros(new_cap, dtype=old.dtype)
+            fresh[: self.capacity] = old
+            setattr(self, name, fresh)
+        self.capacity = new_cap
+
+    # --------------------------------------------------------------- mutation
+
+    def bulk_insert(
+        self,
+        pids: Sequence[int],
+        coords: Sequence[Sequence[float]],
+        times: Sequence[float],
+    ) -> np.ndarray:
+        """Insert a batch of fresh points; returns their slots (int64).
+
+        New rows start exactly like a fresh ``PointRecord``: ``n_eps=1``
+        (a point is its own epsilon-neighbour), ``c_core=0``, no flags, no
+        cluster id, no anchor.
+        """
+        n = len(pids)
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        if self.dim is None:
+            self.dim = len(coords[0])
+            self.coords = np.empty((self.capacity, self.dim), dtype=np.float64)
+        self._grow(n)
+        slots = np.empty(n, dtype=np.int64)
+        take = min(len(self._free), n)
+        for i in range(take):
+            slots[i] = self._free.pop()
+        if take:
+            self.recycled_total += take
+        if take < n:
+            fresh = np.arange(self.high_water, self.high_water + (n - take))
+            slots[take:] = fresh
+            self.high_water += n - take
+        self.coords[slots] = np.asarray(coords, dtype=np.float64)
+        self.time[slots] = np.asarray(times, dtype=np.float64)
+        self.pid[slots] = np.asarray(pids, dtype=np.int64)
+        self.n_eps[slots] = 1
+        self.c_core[slots] = 0
+        self.cid[slots] = NO_ID
+        self.anchor[slots] = NO_ID
+        self.flags[slots] = 0
+        slot_of = self._slot_of
+        for pid, slot in zip(pids, slots.tolist()):
+            slot_of[pid] = slot
+        return slots
+
+    def insert(self, pid: int, coords: Sequence[float], time: float = 0.0) -> int:
+        """Insert one point; returns its slot."""
+        return int(self.bulk_insert([pid], [tuple(coords)], [time])[0])
+
+    def mark_deleted(self, slots: np.ndarray) -> None:
+        """Flag rows as exited and zero their counts (rows stay resident)."""
+        if len(slots) == 0:
+            return
+        self.flags[slots] |= DELETED
+        self.n_eps[slots] = 0
+        self.c_core[slots] = 0
+
+    def free(self, pids: Iterable[int]) -> None:
+        """Drop rows entirely, recycling their slots through the free-list."""
+        slot_of = self._slot_of
+        free = self._free
+        for pid in pids:
+            free.append(slot_of.pop(pid))
+
+    # ---------------------------------------------------------------- lookups
+
+    def slot_of(self, pid: int) -> int:
+        """Slot of a resident pid (KeyError when absent)."""
+        return self._slot_of[pid]
+
+    def get_slot(self, pid: int) -> int | None:
+        return self._slot_of.get(pid)
+
+    def slots_of(self, pids: Iterable[int]) -> np.ndarray:
+        """Translate resident pids to a slot array (KeyError on a miss)."""
+        slot_of = self._slot_of
+        return np.fromiter((slot_of[p] for p in pids), dtype=np.int64)
+
+    def live_slots(self) -> np.ndarray:
+        """Slots of every resident row, in insertion order.
+
+        "Live" here means resident; during a stride the result can include
+        rows carrying the ``DELETED`` flag (lingering exited ex-cores) —
+        mask with :data:`DELETED` when that matters.
+        """
+        return np.fromiter(self._slot_of.values(), dtype=np.int64, count=len(self._slot_of))
+
+    def iter_pids(self) -> Iterator[int]:
+        """Resident pids in insertion order."""
+        return iter(self._slot_of)
+
+    def view(self, pid: int) -> "RecordView":
+        return RecordView(self, self._slot_of[pid])
+
+    # ------------------------------------------------------------- invariants
+
+    def check_invariants(self) -> None:
+        """Internal consistency of the slot map, free-list, and columns."""
+        used = set(self._slot_of.values())
+        assert len(used) == len(self._slot_of), "duplicate slots in the pid map"
+        free = set(self._free)
+        assert len(free) == len(self._free), "duplicate slots in the free-list"
+        assert not (used & free), "slot both in use and free"
+        assert all(0 <= s < self.high_water for s in used | free)
+        assert self.high_water <= self.capacity
+        for pid, slot in self._slot_of.items():
+            assert int(self.pid[slot]) == pid, f"pid column out of sync at {slot}"
+
+
+class RecordView:
+    """A per-point proxy reading and writing one :class:`PointStore` row.
+
+    Exposes exactly the :class:`~repro.core.state.PointRecord` attribute set
+    so call sites (and tests) written against the object layout keep working
+    unchanged. Views are transient — create, touch, discard; the hot paths
+    never build them.
+    """
+
+    __slots__ = ("_store", "_slot")
+
+    def __init__(self, store: PointStore, slot: int) -> None:
+        object.__setattr__(self, "_store", store)
+        object.__setattr__(self, "_slot", slot)
+
+    @property
+    def pid(self) -> int:
+        return int(self._store.pid[self._slot])
+
+    @property
+    def coords(self) -> tuple[float, ...]:
+        return tuple(self._store.coords[self._slot].tolist())
+
+    @property
+    def time(self) -> float:
+        return float(self._store.time[self._slot])
+
+    @time.setter
+    def time(self, value: float) -> None:
+        self._store.time[self._slot] = value
+
+    @property
+    def n_eps(self) -> int:
+        return int(self._store.n_eps[self._slot])
+
+    @n_eps.setter
+    def n_eps(self, value: int) -> None:
+        self._store.n_eps[self._slot] = value
+
+    @property
+    def c_core(self) -> int:
+        return int(self._store.c_core[self._slot])
+
+    @c_core.setter
+    def c_core(self, value: int) -> None:
+        self._store.c_core[self._slot] = value
+
+    @property
+    def cid(self) -> int | None:
+        raw = self._store.cid[self._slot]
+        return None if raw == NO_ID else int(raw)
+
+    @cid.setter
+    def cid(self, value: int | None) -> None:
+        self._store.cid[self._slot] = NO_ID if value is None else value
+
+    @property
+    def anchor(self) -> int | None:
+        raw = self._store.anchor[self._slot]
+        return None if raw == NO_ID else int(raw)
+
+    @anchor.setter
+    def anchor(self, value: int | None) -> None:
+        self._store.anchor[self._slot] = NO_ID if value is None else value
+
+    @property
+    def was_core(self) -> bool:
+        return bool(self._store.flags[self._slot] & WAS_CORE)
+
+    @was_core.setter
+    def was_core(self, value: bool) -> None:
+        if value:
+            self._store.flags[self._slot] |= WAS_CORE
+        else:
+            self._store.flags[self._slot] &= ~WAS_CORE
+
+    @property
+    def deleted(self) -> bool:
+        return bool(self._store.flags[self._slot] & DELETED)
+
+    @deleted.setter
+    def deleted(self, value: bool) -> None:
+        if value:
+            self._store.flags[self._slot] |= DELETED
+        else:
+            self._store.flags[self._slot] &= ~DELETED
+
+    def __repr__(self) -> str:
+        return (
+            f"RecordView(pid={self.pid}, n={self.n_eps}, c_core={self.c_core}, "
+            f"was_core={self.was_core}, cid={self.cid}, anchor={self.anchor}, "
+            f"deleted={self.deleted}, time={self.time})"
+        )
+
+
+class RecordMap(Mapping):
+    """Mapping façade: pid -> :class:`RecordView` over a :class:`PointStore`.
+
+    Supports the read surface the per-record code paths use (`[]`, ``get``,
+    ``in``, ``len``, iteration in insertion order, ``values``/``items``).
+    Mutation goes through the store (``bulk_insert`` / ``free``); the only
+    mapping-style mutation kept is ``del records[pid]``, for parity with the
+    object layout's purge loop.
+    """
+
+    __slots__ = ("_store",)
+
+    def __init__(self, store: PointStore) -> None:
+        self._store = store
+
+    @property
+    def store(self) -> PointStore:
+        return self._store
+
+    def __getitem__(self, pid: int) -> RecordView:
+        return RecordView(self._store, self._store._slot_of[pid])
+
+    def __delitem__(self, pid: int) -> None:
+        self._store.free([pid])
+
+    def __len__(self) -> int:
+        return len(self._store._slot_of)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._store._slot_of)
+
+    def __contains__(self, pid: object) -> bool:
+        return pid in self._store._slot_of
+
+    def get(self, pid: int, default=None):
+        slot = self._store._slot_of.get(pid)
+        if slot is None:
+            return default
+        return RecordView(self._store, slot)
+
+    def values(self):
+        store = self._store
+        return (RecordView(store, slot) for slot in store._slot_of.values())
+
+    def items(self):
+        store = self._store
+        return (
+            (pid, RecordView(store, slot))
+            for pid, slot in store._slot_of.items()
+        )

@@ -33,6 +33,8 @@ from abc import ABC, abstractmethod
 from collections.abc import Iterable, Sequence
 from typing import ClassVar
 
+import numpy as np
+
 from repro.common.errors import IndexError_
 from repro.index.stats import IndexStats
 
@@ -155,3 +157,31 @@ class NeighborIndex(ABC):
         """
         count_ball = self.count_ball
         return [count_ball(center, radius) for center in centers]
+
+    def ball_pids(self, center: Sequence[float], radius: float) -> np.ndarray:
+        """Pids within ``radius`` of ``center``, in :meth:`ball` order.
+
+        The single-center ids-only query; same contract as
+        :meth:`ball_many_pids` with one center, counted as one range search.
+        """
+        ball = self.ball(center, radius)
+        return np.fromiter((pid for pid, _ in ball), dtype=np.int64, count=len(ball))
+
+    def ball_many_pids(
+        self, centers: Sequence[Sequence[float]], radius: float
+    ):
+        """One int64 pid array per center, in :meth:`ball` order.
+
+        The ids-only variant of :meth:`ball_many` for callers that resolve
+        coordinates themselves (the columnar store keeps them in its own
+        arena): skipping the per-candidate ``(pid, coords)`` tuple building
+        is the difference between the batched layer paying off and breaking
+        even on small balls. Stats accounting is identical to
+        :meth:`ball_many` — one range search per center.
+        """
+        return [
+            np.fromiter(
+                (pid for pid, _ in ball), dtype=np.int64, count=len(ball)
+            )
+            for ball in self.ball_many(centers, radius)
+        ]

@@ -99,6 +99,12 @@ class EpochAdapter(NeighborIndex):
     ) -> list[int]:
         return self.inner.count_ball_many(centers, radius)
 
+    def ball_many_pids(self, centers: Sequence[Sequence[float]], radius: float):
+        return self.inner.ball_many_pids(centers, radius)
+
+    def ball_pids(self, center: Sequence[float], radius: float):
+        return self.inner.ball_pids(center, radius)
+
     def nearest(
         self, center: Sequence[float], k: int = 1
     ) -> list[tuple[int, Coords]]:
@@ -135,6 +141,32 @@ class EpochAdapter(NeighborIndex):
                 if should_mark is None or should_mark(pid):
                     epochs[pid] = tick
                 results.append((pid, coords))
+            else:
+                pruned += 1
+        self.inner.stats.epoch_prunes += pruned
+        return results
+
+    def ball_unvisited_pids(
+        self,
+        center: Sequence[float],
+        radius: float,
+        tick: int,
+        should_mark=None,
+    ) -> list[int]:
+        """Ids-only :meth:`ball_unvisited`; identical marking and stats.
+
+        Backed by the wrapped index's vectorized :meth:`ball_pids`, so no
+        ``(pid, coords)`` tuples are built for callers (the columnar MS-BFS
+        expansion) that resolve state by pid anyway.
+        """
+        epochs = self._epochs
+        results: list[int] = []
+        pruned = 0
+        for pid in self.inner.ball_pids(center, radius).tolist():
+            if epochs[pid] < tick:
+                if should_mark is None or should_mark(pid):
+                    epochs[pid] = tick
+                results.append(pid)
             else:
                 pruned += 1
         self.inner.stats.epoch_prunes += pruned

@@ -3,13 +3,20 @@
 Used as the test oracle: every R-tree behaviour (plain and epoch-filtered
 searches included) must agree with this index on identical workloads. It is
 also a legitimate fallback for tiny windows where tree overhead dominates.
+
+Distance evaluation goes through the shared
+:func:`~repro.common.distance.dists_to_many` kernel over a lazily rebuilt
+candidate matrix, so one vectorized pass replaces the per-point loop while
+results keep the insertion order of the point table.
 """
 
 from __future__ import annotations
 
-import math
 from collections.abc import Sequence
 
+import numpy as np
+
+from repro.common.distance import dists_to_many
 from repro.common.errors import IndexError_
 from repro.index.base import NeighborIndex
 from repro.index.stats import IndexStats
@@ -26,6 +33,9 @@ class LinearScanIndex(NeighborIndex):
         self._points: dict[int, Coords] = {}
         self._epochs: dict[int, int] = {}
         self._tick = 0
+        self._pids: list[int] = []
+        self._matrix: np.ndarray | None = None
+        self._dirty = True
         self.stats = stats if stats is not None else IndexStats()
 
     def __len__(self) -> int:
@@ -43,6 +53,7 @@ class LinearScanIndex(NeighborIndex):
         self.stats.inserts += 1
         self._points[pid] = tuple(coords)
         self._epochs[pid] = 0
+        self._dirty = True
 
     def delete(self, pid: int) -> None:
         if pid not in self._points:
@@ -50,19 +61,31 @@ class LinearScanIndex(NeighborIndex):
         self.stats.deletes += 1
         del self._points[pid]
         del self._epochs[pid]
+        self._dirty = True
+
+    def _refresh(self) -> None:
+        if not self._dirty:
+            return
+        self._pids = list(self._points)
+        self._matrix = np.array(
+            [self._points[pid] for pid in self._pids], dtype=np.float64
+        )
+        self._dirty = False
 
     def ball(self, center: Sequence[float], radius: float) -> list[tuple[int, Coords]]:
         """All points within ``radius`` of ``center`` (inclusive)."""
         self.stats.range_searches += 1
         self.stats.nodes_accessed += 1  # the flat point table is one "node"
-        center = tuple(center)
-        results = []
-        dist = math.dist
         self.stats.entries_scanned += len(self._points)
-        for pid, coords in self._points.items():
-            if dist(coords, center) <= radius:
-                results.append((pid, coords))
-        return results
+        if not self._points:
+            return []
+        self._refresh()
+        mask = dists_to_many(tuple(center), self._matrix) <= radius * radius
+        points = self._points
+        return [
+            (pid, points[pid])
+            for pid in (self._pids[i] for i in np.nonzero(mask)[0])
+        ]
 
     def nearest(
         self, center: Sequence[float], k: int = 1
@@ -72,13 +95,16 @@ class LinearScanIndex(NeighborIndex):
             raise IndexError_(f"k must be >= 1, got {k}")
         self.stats.range_searches += 1
         self.stats.nodes_accessed += 1
-        center = tuple(center)
-        dist = math.dist
         self.stats.entries_scanned += len(self._points)
-        ranked = sorted(
-            self._points.items(), key=lambda item: dist(item[1], center)
-        )
-        return ranked[:k]
+        if not self._points:
+            return []
+        self._refresh()
+        d_sq = dists_to_many(tuple(center), self._matrix)
+        # Stable sort keeps insertion order among equidistant points, the
+        # same tie-break the sorted() over the point dict used to give.
+        order = np.argsort(d_sq, kind="stable")[:k]
+        points = self._points
+        return [(pid, points[pid]) for pid in (self._pids[i] for i in order)]
 
     def new_tick(self) -> int:
         self._tick += 1
@@ -99,20 +125,24 @@ class LinearScanIndex(NeighborIndex):
         """
         self.stats.range_searches += 1
         self.stats.nodes_accessed += 1
-        center = tuple(center)
+        self.stats.entries_scanned += len(self._points)
+        if not self._points:
+            return []
+        self._refresh()
+        d_sq = dists_to_many(tuple(center), self._matrix)
+        r_sq = radius * radius
         results = []
         epochs = self._epochs
-        dist = math.dist
+        points = self._points
         pruned = 0
-        self.stats.entries_scanned += len(self._points)
-        for pid, coords in self._points.items():
+        for i, pid in enumerate(self._pids):
             if epochs[pid] >= tick:
                 pruned += 1  # skipped by the epoch filter before the distance test
                 continue
-            if dist(coords, center) <= radius:
+            if d_sq[i] <= r_sq:
                 if should_mark is None or should_mark(pid):
                     epochs[pid] = tick
-                results.append((pid, coords))
+                results.append((pid, points[pid]))
         self.stats.epoch_prunes += pruned
         return results
 
@@ -128,4 +158,6 @@ class LinearScanIndex(NeighborIndex):
     def check_invariants(self) -> None:
         """Interface parity with :class:`RTree`; nothing can go wrong here."""
         assert set(self._points) == set(self._epochs)
-
+        if not self._dirty:
+            assert self._matrix is not None
+            assert self._pids == list(self._points)

@@ -12,6 +12,7 @@ from __future__ import annotations
 import json
 import os
 
+from repro.core.store import COUNTER_FIELDS as STORE_FIELDS
 from repro.index.stats import FIELDS as INDEX_FIELDS
 from repro.observability.trace import COUNTERS, PHASES
 
@@ -51,6 +52,21 @@ TRACE_SCHEMA = {
         "events": {
             "type": "object",
             "additionalProperties": {"type": "integer", "minimum": 0},
+        },
+        # Optional: PointStore occupancy gauges. Only columnar-layout runs
+        # carry it; ``occupancy`` is a ratio, the rest are integers.
+        "store": {
+            "type": "object",
+            "required": list(STORE_FIELDS),
+            "additionalProperties": False,
+            "properties": {
+                name: (
+                    {"type": "number", "minimum": 0, "maximum": 1}
+                    if name == "occupancy"
+                    else {"type": "integer", "minimum": 0}
+                )
+                for name in STORE_FIELDS
+            },
         },
     },
 }
@@ -110,6 +126,27 @@ def validate_trace_record(record: dict, where: str = "record") -> None:
             _fail(where, f"'phases.{name}' must be a non-negative number")
     _check_closed_ints(record, "counters", COUNTERS, where)
     _check_closed_ints(record, "index", INDEX_FIELDS, where)
+    if "store" in record:
+        store = record["store"]
+        if not isinstance(store, dict):
+            _fail(where, "'store' must be an object")
+        missing = set(STORE_FIELDS) - set(store)
+        if missing:
+            _fail(where, f"'store' missing {sorted(missing)}")
+        extra = set(store) - set(STORE_FIELDS)
+        if extra:
+            _fail(where, f"'store' has unknown keys {sorted(extra)}")
+        for name, value in store.items():
+            if name == "occupancy":
+                ok = (
+                    isinstance(value, (int, float))
+                    and not isinstance(value, bool)
+                    and 0 <= value <= 1
+                )
+                if not ok:
+                    _fail(where, "'store.occupancy' must be a ratio in [0, 1]")
+            elif not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                _fail(where, f"'store.{name}' must be a non-negative integer")
     events = record["events"]
     if not isinstance(events, dict):
         _fail(where, "'events' must be an object")

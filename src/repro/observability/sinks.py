@@ -118,6 +118,14 @@ class PrometheusTextfileExporter:
         ]
         for name, value in agg.index.as_dict().items():
             lines.append(f'disc_index_total{{stat="{name}"}} {value}')
+        if agg.store is not None:
+            lines += [
+                "# HELP disc_store_gauge PointStore arena occupancy gauges.",
+                "# TYPE disc_store_gauge gauge",
+            ]
+            for name, value in agg.store.items():
+                rendered = f"{value:.6f}" if name == "occupancy" else str(value)
+                lines.append(f'disc_store_gauge{{stat="{name}"}} {rendered}')
         if agg.events:
             lines += [
                 "# HELP disc_events_total Cluster evolution events.",

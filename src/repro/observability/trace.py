@@ -51,13 +51,24 @@ class StrideTrace:
     by emitting it to the sinks.
     """
 
-    __slots__ = ("stride", "elapsed_s", "phases", "index", "events", *COUNTERS)
+    __slots__ = (
+        "stride",
+        "elapsed_s",
+        "phases",
+        "index",
+        "store",
+        "events",
+        *COUNTERS,
+    )
 
     def __init__(self, stride: int) -> None:
         self.stride = stride
         self.elapsed_s = 0.0
         self.phases: dict[str, float] = dict.fromkeys(PHASES, 0.0)
         self.index: IndexStats | None = None  # delta over the stride
+        # PointStore occupancy gauges at end of stride (columnar layout only;
+        # the object layout leaves this None and the key off the record).
+        self.store: dict | None = None
         self.events: dict[str, int] = {}
         for name in COUNTERS:
             setattr(self, name, 0)
@@ -65,7 +76,7 @@ class StrideTrace:
     def as_dict(self) -> dict:
         """JSON-friendly form — the JSONL trace schema (see ``schema.py``)."""
         index = self.index if self.index is not None else IndexStats()
-        return {
+        record = {
             "stride": self.stride,
             "elapsed_s": self.elapsed_s,
             "phases": dict(self.phases),
@@ -73,6 +84,9 @@ class StrideTrace:
             "index": index.as_dict(),
             "events": dict(self.events),
         }
+        if self.store is not None:
+            record["store"] = dict(self.store)
+        return record
 
     def __repr__(self) -> str:
         return (
@@ -98,11 +112,14 @@ class TraceAggregate:
         self.phases: dict[str, float] = dict.fromkeys(PHASES, 0.0)
         self.counters: dict[str, int] = dict.fromkeys(COUNTERS, 0)
         self.index = IndexStats()
+        self.store: dict | None = None  # latest PointStore gauges seen
         self.events: dict[str, int] = {}
 
     def add(self, trace: StrideTrace) -> None:
         self.strides += 1
         self.elapsed.append(trace.elapsed_s)
+        if trace.store is not None:
+            self.store = dict(trace.store)
         for name in PHASES:
             self.phases[name] += trace.phases[name]
         for name in COUNTERS:
@@ -126,7 +143,7 @@ class TraceAggregate:
         }
 
     def as_dict(self) -> dict:
-        return {
+        out = {
             "strides": self.strides,
             **self.latency_summary(),
             "phases": dict(self.phases),
@@ -134,6 +151,9 @@ class TraceAggregate:
             "index": self.index.as_dict(),
             "events": dict(self.events),
         }
+        if self.store is not None:
+            out["store"] = dict(self.store)
+        return out
 
     def report(self) -> str:
         """Human-readable totals, one line per concern (operator format)."""
@@ -172,6 +192,13 @@ class TraceAggregate:
             f"{idx.nodes_accessed} nodes, {idx.entries_scanned} entries, "
             f"{idx.epoch_prunes} epoch prunes"
         )
+        if self.store is not None:
+            s = self.store
+            lines.append(
+                f"store: {s['slots']}/{s['capacity']} slots "
+                f"({s['occupancy']:.0%} occupied), {s['slabs']} slabs, "
+                f"{s['recycled']} recycled, high water {s['high_water']}"
+            )
         if self.events:
             lines.append(
                 "events: "

@@ -172,6 +172,14 @@ class FlakyIndex(NeighborIndex):
         self._fuse()
         return self.inner.count_ball_many(centers, radius)
 
+    def ball_pids(self, center, radius):
+        self._fuse()
+        return self.inner.ball_pids(center, radius)
+
+    def ball_many_pids(self, centers, radius):
+        self._fuse()
+        return self.inner.ball_many_pids(centers, radius)
+
     def coords_of(self, pid):
         return self.inner.coords_of(pid)
 

@@ -26,6 +26,7 @@ from repro.common.distance import squared_distance
 from repro.common.errors import ReproError
 from repro.common.points import StreamPoint
 from repro.common.snapshot import Category, Clustering
+from repro.core.store import NO_ID
 from repro.datasets.io import MalformedRecord
 from repro.runtime.stats import RuntimeStats
 from repro.runtime.supervisor import Supervisor
@@ -340,11 +341,29 @@ class TenantSession:
             return
         clustering = clusterer.snapshot()
         state = clusterer.state
-        cores = tuple(
-            (pid, rec.coords, clustering.label_of(pid))
-            for pid, rec in state.records.items()
-            if state.is_core(rec) and rec.cid is not None
-        )
+        arena = state.columnar() if hasattr(state, "columnar") else None
+        if arena is not None:
+            # Columnar fast path: one masked slice instead of a per-record
+            # scan. live_slots() keeps insertion order, so the cores tuple is
+            # ordered exactly like the record-dict iteration below — the
+            # classify() nearest-core tie-break depends on it.
+            slots = arena.live_slots()
+            mask = (arena.n_eps[slots] >= state.params.tau) & (
+                arena.cid[slots] != NO_ID
+            )
+            core_slots = slots[mask] if len(slots) else slots
+            pids = arena.pid[core_slots].tolist()
+            coords = arena.coords[core_slots].tolist()
+            cores = tuple(
+                (pid, tuple(row), clustering.label_of(pid))
+                for pid, row in zip(pids, coords)
+            )
+        else:
+            cores = tuple(
+                (pid, rec.coords, clustering.label_of(pid))
+                for pid, rec in state.records.items()
+                if state.is_core(rec) and rec.cid is not None
+            )
         self.view = SessionView(
             self.supervisor.stride - 1, clustering, self.config.eps, cores
         )

@@ -75,6 +75,29 @@ class WindowCursor:
             return self._feed_time(point)
         return self._feed_count(point)
 
+    def feed_many(self, points: Iterable[StreamPoint]) -> list[Slide]:
+        """Accept a batch of points; return every slide the batch closes.
+
+        Equivalent to calling :meth:`feed` per point and concatenating, but
+        the count-based model closes whole strides per append instead of
+        re-testing the batch length on every point — the natural entry point
+        for batched ingestion (``repro.serve`` offers arrive in batches).
+        """
+        if self.time_based:
+            slides: list[Slide] = []
+            for point in points:
+                slides.extend(self._feed_time(point))
+            return slides
+        stride = self.spec.stride
+        batch = self._batch
+        slides = []
+        for point in points:
+            batch.append(point)
+            if len(batch) >= stride:
+                slides.append(self._close_count_batch())
+                batch = self._batch  # _close_count_batch rebinds it
+        return slides
+
     def _feed_count(self, point: StreamPoint) -> list[Slide]:
         self._batch.append(point)
         if len(self._batch) < self.spec.stride:
@@ -194,4 +217,9 @@ def materialize_slides(
     Benchmarks use this so all methods replay the *identical* sequence of
     deltas, and slide computation stays out of the measured path.
     """
-    return list(SlidingWindow(spec, time_based).slides(points))
+    cursor = WindowCursor(spec, time_based)
+    slides = cursor.feed_many(points)
+    tail = cursor.finish()
+    if tail is not None:
+        slides.append(tail)
+    return slides

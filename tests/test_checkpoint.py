@@ -1,5 +1,7 @@
 """Tests: a restored DISC continues the stream with identical results."""
 
+import json
+
 import pytest
 
 from repro.baselines.dbscan import SlidingDBSCAN
@@ -21,6 +23,29 @@ from tests.conftest import clustered_stream
 def run_slides(method, slides):
     for delta_in, delta_out in slides:
         method.advance(delta_in, delta_out)
+
+
+def legacy_payload(disc, version=2):
+    """Rewrite a v3 column checkpoint into the v1/v2 per-record shape."""
+    payload = to_checkpoint(disc)
+    cols = payload.pop("columns")
+    payload["records"] = [
+        {
+            "pid": cols["pid"][i],
+            "coords": cols["coords"][i],
+            "time": cols["time"][i],
+            "n_eps": cols["n_eps"][i],
+            "c_core": cols["c_core"][i],
+            "was_core": bool(cols["flags"][i] & 1),
+            "cid": None if cols["cid"][i] == -1 else cols["cid"][i],
+            "anchor": None if cols["anchor"][i] == -1 else cols["anchor"][i],
+        }
+        for i in range(len(cols["pid"]))
+    ]
+    payload["version"] = version
+    if version == 1:
+        del payload["index"]  # pre-registry checkpoints had no backend name
+    return payload
 
 
 class TestRoundTrip:
@@ -119,11 +144,60 @@ class TestBackendRestore:
         """Pre-registry checkpoints carry no backend name; still restorable."""
         disc = DISC(0.7, 4)
         disc.advance(clustered_stream(8, 120), ())
-        payload = to_checkpoint(disc)
-        payload["version"] = 1
-        del payload["index"]
-        restored = from_checkpoint(payload)
+        restored = from_checkpoint(legacy_payload(disc, version=1))
         assert restored.labels() == disc.labels()
+
+
+class TestFormatVersions:
+    """v1/v2 object payloads must restore byte-identically to v3 columns."""
+
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_legacy_payload_restores_byte_identical(self, version):
+        spec = WindowSpec(window=120, stride=30)
+        points = clustered_stream(11, 300)
+        slides = materialize_slides(points, spec)
+        disc = DISC(0.7, 4)
+        run_slides(disc, slides[:6])
+
+        v3 = to_checkpoint(disc)
+        restored = from_checkpoint(legacy_payload(disc, version=version))
+        assert restored.labels() == disc.labels()
+        # Re-checkpointing the legacy restore reproduces the v3 payload
+        # byte for byte (modulo the index name a v1 payload cannot carry).
+        re_emitted = to_checkpoint(restored)
+        if version == 1:
+            re_emitted["index"] = v3["index"]
+        assert json.dumps(re_emitted, sort_keys=True) == json.dumps(
+            v3, sort_keys=True
+        )
+        # And the restored instance continues the stream identically.
+        run_slides(disc, slides[6:])
+        run_slides(restored, slides[6:])
+        assert restored.labels() == disc.labels()
+
+    @pytest.mark.parametrize("store", ["columnar", "object"])
+    def test_restore_onto_either_layout(self, store):
+        disc = DISC(0.7, 4)
+        disc.advance(clustered_stream(12, 150), ())
+        payload = to_checkpoint(disc)
+        restored = from_checkpoint(payload, store=store)
+        assert restored.state.store_kind == store
+        assert restored.labels() == disc.labels()
+        assert json.dumps(to_checkpoint(restored), sort_keys=True) == json.dumps(
+            payload, sort_keys=True
+        )
+
+    def test_object_layout_emits_identical_v3_payload(self):
+        spec = WindowSpec(window=100, stride=25)
+        points = clustered_stream(13, 250)
+        slides = materialize_slides(points, spec)
+        columnar = DISC(0.7, 4)
+        legacy = DISC(0.7, 4, store="object")
+        run_slides(columnar, slides[:7])
+        run_slides(legacy, slides[:7])
+        assert json.dumps(to_checkpoint(columnar), sort_keys=True) == json.dumps(
+            to_checkpoint(legacy), sort_keys=True
+        )
 
 
 class TestErrors:
@@ -139,17 +213,40 @@ class TestErrors:
         with pytest.raises(CheckpointError):
             loads("{oops")
 
-    def test_records_must_be_a_list(self):
+    def test_columns_must_be_an_object(self):
         disc = DISC(0.5, 3)
         payload = to_checkpoint(disc)
+        payload["columns"] = ["not", "an", "object"]
+        with pytest.raises(CheckpointError, match="must be an object"):
+            from_checkpoint(payload)
+
+    def test_legacy_records_must_be_a_list(self):
+        disc = DISC(0.5, 3)
+        payload = legacy_payload(disc)
         payload["records"] = {"not": "a list"}
         with pytest.raises(CheckpointError, match="must be a list"):
             from_checkpoint(payload)
 
-    def test_record_missing_keys(self):
+    def test_column_missing(self):
         disc = DISC(0.5, 3)
         disc.advance(clustered_stream(6, 30), ())
         payload = to_checkpoint(disc)
+        del payload["columns"]["n_eps"]
+        with pytest.raises(CheckpointError, match="columns are missing"):
+            from_checkpoint(payload)
+
+    def test_column_lengths_must_agree(self):
+        disc = DISC(0.5, 3)
+        disc.advance(clustered_stream(6, 30), ())
+        payload = to_checkpoint(disc)
+        payload["columns"]["n_eps"] = payload["columns"]["n_eps"][:-1]
+        with pytest.raises(CheckpointError, match="mismatched lengths"):
+            from_checkpoint(payload)
+
+    def test_legacy_record_missing_keys(self):
+        disc = DISC(0.5, 3)
+        disc.advance(clustered_stream(6, 30), ())
+        payload = legacy_payload(disc)
         del payload["records"][0]["n_eps"]
         with pytest.raises(CheckpointError, match="record 0 is missing"):
             from_checkpoint(payload)
@@ -158,8 +255,16 @@ class TestErrors:
         disc = DISC(0.5, 3)
         disc.advance(clustered_stream(6, 30), ())
         payload = to_checkpoint(disc)
-        payload["records"][1]["coords"] = [1.0, 2.0, 3.0]
+        payload["columns"]["coords"][1] = [1.0, 2.0, 3.0]
         with pytest.raises(CheckpointError, match="dimensional"):
+            from_checkpoint(payload)
+
+    def test_invalid_flags(self):
+        disc = DISC(0.5, 3)
+        disc.advance(clustered_stream(6, 30), ())
+        payload = to_checkpoint(disc)
+        payload["columns"]["flags"][0] = 2  # the DELETED bit never persists
+        with pytest.raises(CheckpointError, match="invalid flags"):
             from_checkpoint(payload)
 
     def test_index_must_be_a_name(self):
@@ -174,7 +279,7 @@ class TestErrors:
         disc = DISC(0.5, 3)
         disc.advance(clustered_stream(6, 30), ())
         payload = to_checkpoint(disc)
-        payload["records"][2]["coords"] = []
+        payload["columns"]["coords"][2] = []
         with pytest.raises(CheckpointError, match="invalid coords"):
             from_checkpoint(payload)
 

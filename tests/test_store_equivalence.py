@@ -1,0 +1,151 @@
+"""Store-layout equivalence: columnar and object runs are byte-identical.
+
+The columnar :class:`~repro.core.store.PointStore` is only admissible if it
+is *indistinguishable* from the classic per-record layout: same labels, same
+categories, same checkpoint bytes, same algorithm counters, stride for
+stride, on every registered index backend. These tests drive both layouts
+through identical slide sequences and diff everything observable.
+"""
+
+import json
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.api import cluster_stream
+from repro.common.config import WindowSpec
+from repro.common.points import StreamPoint
+from repro.core.checkpoint import to_checkpoint
+from repro.core.disc import DISC
+from repro.datasets.maze import maze_stream
+from repro.index.registry import available_indexes
+from repro.observability.sinks import InMemorySink
+from repro.observability.trace import Tracer
+from repro.window.sliding import materialize_slides
+from tests.conftest import clustered_stream
+
+
+def run_both_layouts(points, spec, eps, tau, *, index=None, time_based=False):
+    """Drive both layouts through one stream; return (per-stride, final) pairs."""
+    outputs = {}
+    for layout in ("columnar", "object"):
+        sink = InMemorySink()
+        disc = DISC(eps, tau, index=index, store=layout, tracer=Tracer(sink))
+        strides = [
+            (snap.labels, snap.categories)
+            for snap, _ in cluster_stream(
+                points, spec, eps, tau, clusterer=disc, time_based=time_based
+            )
+        ]
+        outputs[layout] = (strides, disc, sink.records)
+    return outputs["columnar"], outputs["object"]
+
+
+def assert_run_identical(columnar, legacy):
+    col_strides, col_disc, col_traces = columnar
+    obj_strides, obj_disc, obj_traces = legacy
+    assert col_strides == obj_strides  # labels AND categories, every stride
+    # Checkpoint payloads must agree byte for byte.
+    assert json.dumps(to_checkpoint(col_disc), sort_keys=True) == json.dumps(
+        to_checkpoint(obj_disc), sort_keys=True
+    )
+    # Trace counters (algorithm activity and index-stats deltas) must agree —
+    # the layouts may not even *probe* differently. Timings obviously differ;
+    # the store gauges exist only on the columnar side.
+    assert len(col_traces) == len(obj_traces)
+    for a, b in zip(col_traces, obj_traces):
+        da, db = a.as_dict(), b.as_dict()
+        assert da["counters"] == db["counters"]
+        assert da["index"] == db["index"]
+        assert da["events"] == db["events"]
+        assert da["stride"] == db["stride"]
+        assert "store" in da and "store" not in db
+
+
+class TestDatasets:
+    @pytest.mark.parametrize("index", available_indexes())
+    def test_synthetic_stream_identical_on_every_backend(self, index):
+        points = clustered_stream(21, 360)
+        spec = WindowSpec(window=120, stride=30)
+        columnar, legacy = run_both_layouts(points, spec, 0.7, 4, index=index)
+        assert_run_identical(columnar, legacy)
+
+    def test_maze_stream_identical(self):
+        points, _ = maze_stream(600, seed=3)
+        spec = WindowSpec(window=200, stride=50)
+        columnar, legacy = run_both_layouts(points, spec, 0.6, 4)
+        assert_run_identical(columnar, legacy)
+
+    def test_churn_with_noise_identical(self):
+        rng = random.Random(9)
+        points = []
+        for i in range(400):
+            if rng.random() < 0.3:
+                coords = (rng.uniform(-2.0, 8.0), rng.uniform(-2.0, 8.0))
+            else:
+                cx = rng.choice([0.0, 3.0, 6.0])
+                coords = (cx + rng.gauss(0, 0.4), rng.gauss(0, 0.4))
+            points.append(StreamPoint(i, coords, float(i)))
+        spec = WindowSpec(window=90, stride=18)
+        columnar, legacy = run_both_layouts(points, spec, 0.55, 3)
+        assert_run_identical(columnar, legacy)
+
+    def test_time_based_window_identical(self):
+        points = clustered_stream(22, 240)
+        spec = WindowSpec(window=80.0, stride=20.0)
+        columnar, legacy = run_both_layouts(
+            points, spec, 0.7, 4, time_based=True
+        )
+        assert_run_identical(columnar, legacy)
+
+    def test_ablation_arms_identical(self):
+        """The equivalence holds with MS-BFS / epoch probing toggled off."""
+        points = clustered_stream(23, 240)
+        slides = materialize_slides(points, WindowSpec(window=100, stride=25))
+        for multi_starter in (True, False):
+            for epoch_probing in (True, False):
+                pair = []
+                for layout in ("columnar", "object"):
+                    disc = DISC(
+                        0.7,
+                        4,
+                        store=layout,
+                        multi_starter=multi_starter,
+                        epoch_probing=epoch_probing,
+                    )
+                    for delta_in, delta_out in slides:
+                        disc.advance(delta_in, delta_out)
+                    pair.append(disc)
+                assert pair[0].labels() == pair[1].labels()
+                assert (
+                    pair[0].snapshot().categories == pair[1].snapshot().categories
+                )
+
+
+class TestProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=30, max_value=160),
+        stride=st.integers(min_value=5, max_value=30),
+        tau=st.integers(min_value=2, max_value=5),
+    )
+    def test_random_streams_identical(self, seed, n, stride, tau):
+        """For any stream and windowing, both layouts agree exactly."""
+        rng = random.Random(seed)
+        points = [
+            StreamPoint(
+                i,
+                (rng.uniform(-4.0, 4.0), rng.uniform(-4.0, 4.0)),
+                float(i),
+            )
+            for i in range(n)
+        ]
+        window = stride * rng.randint(2, 4)
+        spec = WindowSpec(window=window, stride=stride)
+        eps = rng.choice([0.4, 0.7, 1.1])
+        columnar, legacy = run_both_layouts(points, spec, eps, tau)
+        assert_run_identical(columnar, legacy)

@@ -238,3 +238,48 @@ class TestDriver:
             on_stride=lambda m, c: seen.append(m.index),
         )
         assert seen == [0, 1, 2, 3]
+
+
+class TestFeedMany:
+    def test_matches_per_point_feed_count_based(self):
+        spec = WindowSpec(window=10, stride=4)
+        points = seq_points(37)
+        one = WindowCursor(spec)
+        per_point = []
+        for p in points:
+            per_point.extend(one.feed(p))
+        many = WindowCursor(spec)
+        batched = many.feed_many(points)
+        assert batched == per_point
+        assert many.pending == one.pending
+        assert many.window_contents == one.window_contents
+        assert many.finish() == one.finish()
+
+    def test_matches_per_point_feed_time_based(self):
+        spec = WindowSpec(window=6.0, stride=2.0)
+        points = [
+            StreamPoint(i, (float(i), 0.0), t)
+            for i, t in enumerate([0.0, 0.5, 2.1, 2.2, 4.5, 7.0, 9.9])
+        ]
+        one = WindowCursor(spec, time_based=True)
+        per_point = []
+        for p in points:
+            per_point.extend(one.feed(p))
+        many = WindowCursor(spec, time_based=True)
+        assert many.feed_many(points) == per_point
+        assert many.watermark == one.watermark
+
+    def test_split_batches_compose(self):
+        spec = WindowSpec(window=8, stride=3)
+        points = seq_points(25)
+        whole = WindowCursor(spec).feed_many(points)
+        split = WindowCursor(spec)
+        got = split.feed_many(points[:7]) + split.feed_many(points[7:])
+        assert got == whole
+
+    def test_materialize_slides_unchanged(self):
+        spec = WindowSpec(window=10, stride=4)
+        points = seq_points(23)  # trailing partial stride included
+        assert materialize_slides(points, spec) == list(
+            SlidingWindow(spec).slides(points)
+        )
