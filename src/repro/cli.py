@@ -205,6 +205,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-dir",
         help="append per-stride JSONL traces per tenant in this directory",
     )
+    serve.add_argument(
+        "--restart-budget",
+        type=int,
+        default=3,
+        help="supervised restarts allowed per crashed tenant before its "
+        "circuit breaker opens and the session stays failed",
+    )
+    serve.add_argument(
+        "--restart-backoff",
+        type=float,
+        default=0.05,
+        help="base seconds of the exponential restart backoff "
+        "(backoff * 2**attempt)",
+    )
 
     loadgen = commands.add_parser(
         "loadgen",
@@ -247,6 +261,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadgen.add_argument("--queue-limit", type=int, default=2048)
     loadgen.add_argument("--checkpoint-every", type=int, default=16)
+    loadgen.add_argument(
+        "--wal",
+        action="store_true",
+        help="journal every admitted point to a per-tenant write-ahead log "
+        "before acknowledging it (needs a server with --data-dir and the "
+        "block policy; ACK => durable)",
+    )
+    loadgen.add_argument(
+        "--wal-fsync",
+        choices=("always", "every_n", "interval"),
+        default="always",
+        help="WAL fsync policy: every commit / every N records / at most "
+        "once per interval (see docs/serving.md for the loss matrix)",
+    )
+    loadgen.add_argument(
+        "--wal-segment-bytes",
+        type=int,
+        default=4 * 1024 * 1024,
+        help="WAL segment rotation threshold in bytes",
+    )
     loadgen.add_argument(
         "--rate",
         type=float,

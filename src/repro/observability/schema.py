@@ -15,6 +15,7 @@ import os
 from repro.core.store import COUNTER_FIELDS as STORE_FIELDS
 from repro.index.stats import FIELDS as INDEX_FIELDS
 from repro.observability.trace import COUNTERS, PHASES
+from repro.runtime.wal import WAL_FIELDS
 
 TRACE_SCHEMA = {
     "$schema": "https://json-schema.org/draft/2020-12/schema",
@@ -66,6 +67,16 @@ TRACE_SCHEMA = {
                     else {"type": "integer", "minimum": 0}
                 )
                 for name in STORE_FIELDS
+            },
+        },
+        # Optional: write-ahead-log counters (cumulative). Only WAL-enabled
+        # served sessions carry it; batch runs leave the key off.
+        "wal": {
+            "type": "object",
+            "required": list(WAL_FIELDS),
+            "additionalProperties": False,
+            "properties": {
+                name: {"type": "integer", "minimum": 0} for name in WAL_FIELDS
             },
         },
     },
@@ -147,6 +158,8 @@ def validate_trace_record(record: dict, where: str = "record") -> None:
                     _fail(where, "'store.occupancy' must be a ratio in [0, 1]")
             elif not isinstance(value, int) or isinstance(value, bool) or value < 0:
                 _fail(where, f"'store.{name}' must be a non-negative integer")
+    if "wal" in record:
+        _check_closed_ints(record, "wal", WAL_FIELDS, where)
     events = record["events"]
     if not isinstance(events, dict):
         _fail(where, "'events' must be an object")

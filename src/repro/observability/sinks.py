@@ -126,6 +126,13 @@ class PrometheusTextfileExporter:
             for name, value in agg.store.items():
                 rendered = f"{value:.6f}" if name == "occupancy" else str(value)
                 lines.append(f'disc_store_gauge{{stat="{name}"}} {rendered}')
+        if agg.wal is not None:
+            lines += [
+                "# HELP disc_wal_total Write-ahead-log counters (cumulative).",
+                "# TYPE disc_wal_total counter",
+            ]
+            for name, value in agg.wal.items():
+                lines.append(f'disc_wal_total{{stat="{name}"}} {value}')
         if agg.events:
             lines += [
                 "# HELP disc_events_total Cluster evolution events.",

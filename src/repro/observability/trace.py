@@ -57,6 +57,7 @@ class StrideTrace:
         "phases",
         "index",
         "store",
+        "wal",
         "events",
         *COUNTERS,
     )
@@ -69,6 +70,9 @@ class StrideTrace:
         # PointStore occupancy gauges at end of stride (columnar layout only;
         # the object layout leaves this None and the key off the record).
         self.store: dict | None = None
+        # Write-ahead-log counters at end of stride (WAL-enabled served
+        # sessions only; batch runs leave this None and the key off).
+        self.wal: dict | None = None
         self.events: dict[str, int] = {}
         for name in COUNTERS:
             setattr(self, name, 0)
@@ -86,6 +90,8 @@ class StrideTrace:
         }
         if self.store is not None:
             record["store"] = dict(self.store)
+        if self.wal is not None:
+            record["wal"] = dict(self.wal)
         return record
 
     def __repr__(self) -> str:
@@ -113,6 +119,7 @@ class TraceAggregate:
         self.counters: dict[str, int] = dict.fromkeys(COUNTERS, 0)
         self.index = IndexStats()
         self.store: dict | None = None  # latest PointStore gauges seen
+        self.wal: dict | None = None  # latest WAL counters seen (cumulative)
         self.events: dict[str, int] = {}
 
     def add(self, trace: StrideTrace) -> None:
@@ -120,6 +127,8 @@ class TraceAggregate:
         self.elapsed.append(trace.elapsed_s)
         if trace.store is not None:
             self.store = dict(trace.store)
+        if trace.wal is not None:
+            self.wal = dict(trace.wal)
         for name in PHASES:
             self.phases[name] += trace.phases[name]
         for name in COUNTERS:
@@ -153,6 +162,8 @@ class TraceAggregate:
         }
         if self.store is not None:
             out["store"] = dict(self.store)
+        if self.wal is not None:
+            out["wal"] = dict(self.wal)
         return out
 
     def report(self) -> str:
@@ -199,6 +210,14 @@ class TraceAggregate:
                 f"({s['occupancy']:.0%} occupied), {s['slabs']} slabs, "
                 f"{s['recycled']} recycled, high water {s['high_water']}"
             )
+        if self.wal is not None:
+            w = self.wal
+            lines.append(
+                f"wal: {w['appends']} appends, {w['fsyncs']} fsyncs, "
+                f"{w['bytes']} bytes, {w['replayed']} replayed, "
+                f"{w['truncated_tail']} torn tails cut, "
+                f"{w['tenant_restarts']} restarts"
+            )
         if self.events:
             lines.append(
                 "events: "
@@ -220,6 +239,9 @@ class Tracer:
     def __init__(self, *sinks) -> None:
         self.sinks = list(sinks)
         self.aggregate = TraceAggregate()
+        # When a served session attaches its WriteAheadLog here, every
+        # emitted stride record is stamped with the log's counters.
+        self.wal_source = None
         self._next_stride = 0
 
     def begin(self) -> StrideTrace:
@@ -230,6 +252,8 @@ class Tracer:
 
     def emit(self, trace: StrideTrace) -> None:
         """Seal a stride record: fold into the aggregate, fan out to sinks."""
+        if self.wal_source is not None:
+            trace.wal = self.wal_source.stats.as_dict()
         self.aggregate.add(trace)
         for sink in self.sinks:
             sink.emit(trace)

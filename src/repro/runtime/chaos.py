@@ -10,7 +10,11 @@ to hurt a run:
   store's CRC validation must catch it;
 - :class:`FlakyIndex` — a :class:`~repro.index.base.NeighborIndex` wrapper
   whose queries start raising after a fuse burns down, simulating a failing
-  index substrate mid-stride.
+  index substrate mid-stride;
+- write-ahead-log faults — :func:`torn_write`, :func:`truncate_mid_record`,
+  :func:`bit_flip`, :func:`power_loss`, and :class:`DiskFull`, covering the
+  four ways a journal dies in production: a crash mid-append, a filesystem
+  that lost the tail, silent bit rot, and a full disk.
 
 The recovery contract proven by ``tests/test_runtime_recovery.py``: kill a
 supervised run at *any* stride boundary, resume from the store, and the
@@ -20,7 +24,10 @@ registered index backend.
 
 from __future__ import annotations
 
+import errno
 import os
+import struct
+import zlib
 
 from repro.common.errors import IndexError_, ReproError
 from repro.index.base import NeighborIndex
@@ -197,3 +204,126 @@ class FlakyIndex(NeighborIndex):
 
     def __contains__(self, pid):
         return pid in self.inner
+
+
+# ---------------------------------------------------------------- WAL faults
+#
+# These operate on raw segment files (any file, really) and simulate the
+# damage a write-ahead log must survive: the recovery scan in
+# :class:`repro.runtime.wal.WriteAheadLog` must reopen every one of these
+# to a clean, contiguous prefix.
+
+_WAL_HEADER = struct.Struct("<II")
+
+
+def torn_write(path: str | os.PathLike, keep_bytes: int | None = None) -> int:
+    """Tear the file mid-frame, as a crash during ``write()`` would.
+
+    Truncates ``path`` to ``keep_bytes`` (default: half a header past the
+    last full record boundary — guaranteed to land *inside* a frame).
+    Returns the resulting file size.
+    """
+    size = os.path.getsize(path)
+    if keep_bytes is None:
+        keep_bytes = max(0, size - _last_frame_length(path) + _WAL_HEADER.size // 2)
+    keep_bytes = max(0, min(keep_bytes, size))
+    with open(path, "r+b") as handle:
+        handle.truncate(keep_bytes)
+    return keep_bytes
+
+
+def truncate_mid_record(path: str | os.PathLike) -> int:
+    """Cut the last record's *body* short (header intact, body torn).
+
+    The length prefix promises more bytes than exist — the recovery scan
+    must notice the short body rather than read past EOF. Returns the
+    resulting file size.
+    """
+    size = os.path.getsize(path)
+    last = _last_frame_length(path)
+    if last <= _WAL_HEADER.size + 1:
+        raise ReproError(f"no record body to truncate in {path}")
+    keep = size - (last - _WAL_HEADER.size) // 2 - 1
+    with open(path, "r+b") as handle:
+        handle.truncate(keep)
+    return keep
+
+
+def bit_flip(path: str | os.PathLike, offset: int = -3) -> None:
+    """Flip one bit inside the file, simulating silent media corruption.
+
+    ``offset`` indexes into the file (negative = from the end; the default
+    lands in the last record's body, so its CRC32 must catch the damage).
+    """
+    with open(path, "r+b") as handle:
+        data = handle.read()
+        if not data:
+            raise ReproError(f"cannot bit-flip empty file {path}")
+        index = offset % len(data)
+        handle.seek(index)
+        handle.write(bytes([data[index] ^ 0x40]))
+
+
+def power_loss(wal) -> int:
+    """Simulate a power cut: drop every byte not yet fsynced.
+
+    Closes the log's file handle without syncing and truncates each
+    segment to its last *fsynced* extent (``wal.durable_extents()``) —
+    exactly what survives a kernel-buffer loss under the ``every_n`` and
+    ``interval`` fsync policies. Returns the number of bytes destroyed.
+    """
+    extents = wal.durable_extents()
+    if wal._handle is not None:
+        wal._handle.flush()
+        wal._handle.close()
+        wal._handle = None
+    lost = 0
+    for path, synced in extents.items():
+        size = os.path.getsize(path)
+        if size > synced:
+            with open(path, "r+b") as handle:
+                handle.truncate(synced)
+            lost += size - synced
+    return lost
+
+
+class DiskFull:
+    """ENOSPC injector for the WAL's physical-write fault point.
+
+    Pass as ``WriteAheadLog(..., fault=DiskFull(after_bytes=N))``: once N
+    bytes have been written the "disk" is full and every further append
+    raises ``OSError(ENOSPC)`` until :meth:`free` is called.
+    """
+
+    def __init__(self, after_bytes: int) -> None:
+        self.after_bytes = after_bytes
+        self.written = 0
+        self.full = False
+
+    def __call__(self, n_bytes: int) -> None:
+        if self.full or self.written + n_bytes > self.after_bytes:
+            self.full = True
+            raise OSError(errno.ENOSPC, "chaos: no space left on device")
+        self.written += n_bytes
+
+    def free(self) -> None:
+        """Clear the fault, as if an operator freed disk space."""
+        self.full = False
+        self.after_bytes = float("inf")
+
+
+def _last_frame_length(path: str | os.PathLike) -> int:
+    """Total framed length (header + body) of the file's last valid record."""
+    data = open(path, "rb").read()
+    offset = 0
+    last = 0
+    while offset + _WAL_HEADER.size <= len(data):
+        length, crc = _WAL_HEADER.unpack_from(data, offset)
+        body = data[offset + _WAL_HEADER.size : offset + _WAL_HEADER.size + length]
+        if len(body) < length or zlib.crc32(body) != crc:
+            break
+        last = _WAL_HEADER.size + length
+        offset += last
+    if last == 0:
+        raise ReproError(f"no complete record in {path}")
+    return last

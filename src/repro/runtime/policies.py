@@ -23,6 +23,8 @@ from __future__ import annotations
 
 import json
 import math
+import os
+import zlib
 from collections.abc import Iterable, Iterator
 from enum import Enum
 
@@ -70,6 +72,14 @@ class DeadLetterSink:
     dead-lettered between the last checkpoint and the crash. The
     :class:`~repro.runtime.stats.RuntimeStats` counters, which ride inside
     checkpoints, stay exact.
+
+    Crash safety: each mirrored row carries a ``crc32`` field computed over
+    its canonical encoding (the row minus the ``crc32`` key, sorted keys,
+    compact separators), and :func:`read_dead_letters` accepts exactly the
+    longest clean prefix of a file — a torn final line (crash mid-write) or
+    a bit-rotted row is cut instead of poisoning the whole mirror.
+    :meth:`close` flushes *and fsyncs*, so a drained run's dead letters are
+    durable, not just buffered.
     """
 
     def __init__(self, path: str | None = None) -> None:
@@ -96,16 +106,55 @@ class DeadLetterSink:
                 }
             else:  # pragma: no cover - future item kinds
                 row = {"reason": reason, "item": repr(item)}
+            row["crc32"] = zlib.crc32(_canonical_row(row))
             self._handle.write(json.dumps(row) + "\n")
             self._handle.flush()
 
     def close(self) -> None:
         if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
             self._handle.close()
             self._handle = None
 
     def __len__(self) -> int:
         return len(self.entries)
+
+
+def _canonical_row(row: dict) -> bytes:
+    """CRC input: the row without its ``crc32`` field, canonically encoded."""
+    body = {key: value for key, value in row.items() if key != "crc32"}
+    return json.dumps(body, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def read_dead_letters(path: str | os.PathLike) -> list[dict]:
+    """Load a dead-letter mirror, keeping only its clean prefix.
+
+    Returns the decoded rows up to (not including) the first line that is
+    torn, not valid JSON, missing its ``crc32``, or fails the CRC check —
+    the same clean-prefix semantics the write-ahead log's recovery scan
+    applies to its segments. Unwritten suffixes are expected after a crash;
+    they are cut silently rather than raised, because the prefix is still
+    trustworthy and at-least-once delivery re-records the tail on resume.
+    """
+    rows: list[dict] = []
+    try:
+        lines = open(path, encoding="utf-8").read().split("\n")
+    except OSError:
+        return rows
+    for line in lines:
+        if not line:
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError:
+            break  # torn tail (crash mid-write)
+        if not isinstance(row, dict) or "crc32" not in row:
+            break
+        if zlib.crc32(_canonical_row(row)) != row["crc32"]:
+            break  # bit rot
+        rows.append(row)
+    return rows
 
 
 class InputGuard:

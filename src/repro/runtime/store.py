@@ -65,6 +65,26 @@ class CheckpointStore:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.keep = keep
+        self.swept_orphans = self._sweep_orphans()
+
+    def _sweep_orphans(self) -> int:
+        """Delete ``*.tmp`` leftovers of a crash between write and rename.
+
+        A crash inside :meth:`save` (after the tmp write, before the
+        ``os.replace``) strands a ``checkpoint-*.json.tmp`` file that no
+        rotation pass would ever touch — it is not a checkpoint, just dead
+        bytes accumulating forever. They carry no recoverable state (the
+        rename never happened, so the previous checkpoint is still the
+        newest valid one); sweep them on startup. Returns the count.
+        """
+        swept = 0
+        for stale in self.directory.glob("checkpoint-*.json.tmp"):
+            try:
+                stale.unlink()
+                swept += 1
+            except FileNotFoundError:  # pragma: no cover - concurrent cleanup
+                pass
+        return swept
 
     # ---------------------------------------------------------------- writing
 

@@ -14,7 +14,9 @@ Modules:
 - :mod:`repro.serve.session` — the tenant session: queue, backpressure,
   single-writer loop, copy-on-publish views, drain.
 - :mod:`repro.serve.service` — the tenant registry: open/resume/drain/close,
-  durable session metadata, per-tenant observability sinks.
+  durable session metadata, per-tenant observability sinks, write-ahead
+  logs, and self-healing session supervision (crash isolation, restart
+  with backoff, circuit breaker).
 - :mod:`repro.serve.protocol` — the stdlib-only JSON-lines TCP protocol.
 - :mod:`repro.serve.server` — the asyncio TCP server (``repro serve``).
 - :mod:`repro.serve.client` — the asyncio client used by tests and loadgen.

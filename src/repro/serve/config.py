@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass
 
 from repro.common.errors import ConfigurationError
+from repro.runtime.wal import FSYNC_POLICIES
 
 #: Admission-control policies applied when producers outrun the stride loop.
 #:
@@ -41,6 +42,15 @@ class SessionConfig:
         backpressure: one of :data:`BACKPRESSURE_POLICIES`.
         queue_limit: bounded ingest-queue capacity (points).
         checkpoint_every: strides between durable checkpoints.
+        wal: journal every admitted item to a per-tenant write-ahead log
+            before acknowledging it (requires the ``block`` policy — the
+            shedding policies drop items *after* the ack, so the journal
+            could not mirror the fed sequence).
+        wal_fsync: WAL durability policy
+            (:data:`repro.runtime.wal.FSYNC_POLICIES`).
+        wal_fsync_every: records per fsync under ``every_n``.
+        wal_fsync_interval_s: seconds between fsyncs under ``interval``.
+        wal_segment_bytes: WAL segment rotation threshold.
     """
 
     eps: float
@@ -53,6 +63,11 @@ class SessionConfig:
     backpressure: str = "block"
     queue_limit: int = 2048
     checkpoint_every: int = 16
+    wal: bool = False
+    wal_fsync: str = "always"
+    wal_fsync_every: int = 64
+    wal_fsync_interval_s: float = 0.05
+    wal_segment_bytes: int = 4 * 1024 * 1024
 
     def __post_init__(self) -> None:
         if self.backpressure not in BACKPRESSURE_POLICIES:
@@ -72,6 +87,26 @@ class SessionConfig:
             raise ConfigurationError(
                 "a served session needs a registry index *name* (or None) "
                 f"so checkpoints can be restored; got {self.index!r}"
+            )
+        if self.wal_fsync not in FSYNC_POLICIES:
+            raise ConfigurationError(
+                f"unknown WAL fsync policy {self.wal_fsync!r}; "
+                f"expected one of {FSYNC_POLICIES}"
+            )
+        if self.wal_fsync_every < 1:
+            raise ConfigurationError(
+                f"wal_fsync_every must be >= 1, got {self.wal_fsync_every}"
+            )
+        if self.wal_segment_bytes < 1:
+            raise ConfigurationError(
+                f"wal_segment_bytes must be >= 1, got {self.wal_segment_bytes}"
+            )
+        if self.wal and self.backpressure != "block":
+            raise ConfigurationError(
+                "the write-ahead log requires the 'block' backpressure "
+                "policy: shed-oldest/reject drop items after they were "
+                f"acknowledged, so a journal under {self.backpressure!r} "
+                "could not guarantee ACK => durable (see docs/serving.md)"
             )
 
     def as_dict(self) -> dict:
@@ -93,6 +128,15 @@ class SessionConfig:
                 backpressure=str(payload.get("backpressure", "block")),
                 queue_limit=int(payload.get("queue_limit", 2048)),
                 checkpoint_every=int(payload.get("checkpoint_every", 16)),
+                wal=bool(payload.get("wal", False)),
+                wal_fsync=str(payload.get("wal_fsync", "always")),
+                wal_fsync_every=int(payload.get("wal_fsync_every", 64)),
+                wal_fsync_interval_s=float(
+                    payload.get("wal_fsync_interval_s", 0.05)
+                ),
+                wal_segment_bytes=int(
+                    payload.get("wal_segment_bytes", 4 * 1024 * 1024)
+                ),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ConfigurationError(f"malformed session config: {exc}") from exc

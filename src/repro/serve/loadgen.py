@@ -191,6 +191,9 @@ def main(args) -> int:
         backpressure=args.policy,
         queue_limit=args.queue_limit,
         checkpoint_every=args.checkpoint_every,
+        wal=args.wal,
+        wal_fsync=args.wal_fsync,
+        wal_segment_bytes=args.wal_segment_bytes,
     )
     try:
         report = asyncio.run(

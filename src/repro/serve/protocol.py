@@ -43,6 +43,7 @@ ERROR_CODES = (
     "no-such-session",  # any op addressed to an unknown session
     "draining",  # INGEST after DRAIN
     "session-failed",  # the writer task died (e.g. strict-policy fault)
+    "wal-error",  # the write-ahead log could not make a batch durable
     "internal",  # unexpected server-side failure
 )
 

@@ -254,6 +254,8 @@ def main(args) -> int:
         data_dir=args.data_dir,
         metrics_dir=args.metrics_dir,
         trace_dir=args.trace_dir,
+        restart_budget=args.restart_budget,
+        restart_backoff_s=args.restart_backoff,
     )
     try:
         asyncio.run(

@@ -7,23 +7,39 @@ drive it directly). It owns the tenant map and the durability layout: under
 
     <data_dir>/<tenant>/session.json    # SessionConfig, written atomically
     <data_dir>/<tenant>/ckpt/           # the Supervisor's CheckpointStore
+    <data_dir>/<tenant>/wal/            # write-ahead log segments (opt-in)
 
 so :meth:`ClusterService.resume_all` can resurrect every tenant of a killed
 server — config from the metadata file, clustering state from the newest
-checkpoint — without clients re-sending their ``OPEN`` frames.
+checkpoint, the acknowledged tail from the WAL — without clients re-sending
+their ``OPEN`` frames.
+
+The service also *supervises* its sessions: every tenant gets a watcher
+task that waits on the session's ``crashed`` event (set when the writer
+task dies on anything other than a policy-governed fault). A crashed tenant
+is isolated — its connections get error envelopes, co-resident tenants are
+untouched — marked degraded in ``STATS``, and restarted in place from
+checkpoint + WAL with exponential backoff. A restart-budget circuit breaker
+stops the loop when a tenant keeps dying: past the budget it stays failed
+until an operator intervenes.
 """
 
 from __future__ import annotations
 
+import asyncio
 import json
+import logging
 import os
 import re
 from pathlib import Path
 
 from repro._version import __version__
+from repro.runtime.wal import WriteAheadLog
 from repro.serve.config import SessionConfig
 from repro.serve.protocol import ServeError
 from repro.serve.session import TenantSession
+
+logger = logging.getLogger("repro.serve")
 
 #: Tenant names are path components; keep them boring.
 _NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
@@ -41,6 +57,10 @@ class ClusterService:
             stride to ``<trace_dir>/<tenant>.jsonl``.
         journal: when True, every session records its post-admission item
             sequence in ``session.journal`` (test instrumentation).
+        restart_budget: supervised restarts allowed per tenant before the
+            circuit breaker opens and the tenant stays failed.
+        restart_backoff_s: base of the exponential restart backoff
+            (``backoff * 2**attempt`` seconds before each restart).
     """
 
     def __init__(
@@ -50,14 +70,21 @@ class ClusterService:
         metrics_dir: str | os.PathLike | None = None,
         trace_dir: str | os.PathLike | None = None,
         journal: bool = False,
+        restart_budget: int = 3,
+        restart_backoff_s: float = 0.05,
     ) -> None:
         self.data_dir = None if data_dir is None else Path(data_dir)
         self.metrics_dir = None if metrics_dir is None else Path(metrics_dir)
         self.trace_dir = None if trace_dir is None else Path(trace_dir)
         self.journal = journal
+        self.restart_budget = restart_budget
+        self.restart_backoff_s = restart_backoff_s
         self.sessions: dict[str, TenantSession] = {}
+        self.degraded: dict[str, str] = {}  # tenant -> "restarting"/"circuit-open"
         self.accepting = True
         self.port: int | None = None  # set by run_server once bound
+        self._watchers: dict[str, asyncio.Task] = {}
+        self._restart_counts: dict[str, int] = {}
         if self.data_dir is not None:
             self.data_dir.mkdir(parents=True, exist_ok=True)
 
@@ -96,20 +123,31 @@ class ClusterService:
                 f"session {name!r} is already being served with a different config",
             )
         store = None
+        wal = None
         if self.data_dir is not None:
             tenant_dir = self.data_dir / name
             tenant_dir.mkdir(parents=True, exist_ok=True)
             self._write_meta(tenant_dir / "session.json", config)
             store = str(tenant_dir / "ckpt")
+            if config.wal:
+                wal = self._make_wal(tenant_dir, config)
+        elif config.wal:
+            raise ServeError(
+                "bad-request",
+                "the write-ahead log needs a durable tenant: "
+                "start the server with --data-dir",
+            )
         session = TenantSession(
             name,
             config,
             store=store,
             tracer=self._make_tracer(name),
             journal=[] if self.journal else None,
+            wal=wal,
         )
         session.start(resume=resume if store is not None else False)
         self.sessions[name] = session
+        self._supervise(name)
         return session
 
     def resume_all(self) -> list[str]:
@@ -147,9 +185,13 @@ class ClusterService:
     async def close(self, name: str) -> None:
         """Stop one tenant's writer and forget it (checkpoints remain)."""
         session = self.get(name)
+        self._unwatch(name)
         await session.close()
+        if session.wal is not None:
+            session.wal.close()
         if session.tracer is not None:
             session.tracer.close()
+        self.degraded.pop(name, None)
         del self.sessions[name]
 
     async def shutdown(self, *, flush_tail: bool = False) -> dict:
@@ -160,6 +202,8 @@ class ClusterService:
         per-tenant drain report.
         """
         self.accepting = False
+        for name in list(self._watchers):
+            self._unwatch(name)
         report = {}
         for name in sorted(self.sessions):
             report[name] = await self.sessions[name].drain(flush_tail=flush_tail)
@@ -173,10 +217,112 @@ class ClusterService:
             "version": __version__,
             "accepting": self.accepting,
             "sessions": sorted(self.sessions),
+            "degraded": {name: state for name, state in sorted(self.degraded.items())},
+            "tenant_restarts": sum(self._restart_counts.values()),
             "received": sum(s.received for s in self.sessions.values()),
             "ingested": sum(s.ingested for s in self.sessions.values()),
             "queries": sum(s.queries for s in self.sessions.values()),
         }
+
+    # ------------------------------------------------------------ supervision
+
+    def _supervise(self, name: str) -> None:
+        """Attach the self-healing watcher for one tenant."""
+        self._unwatch(name)
+        self._watchers[name] = asyncio.get_running_loop().create_task(
+            self._watch(name), name=f"serve-supervisor-{name}"
+        )
+
+    def _unwatch(self, name: str) -> None:
+        task = self._watchers.pop(name, None)
+        if task is not None and not task.done():
+            task.cancel()
+
+    async def _watch(self, name: str) -> None:
+        """Restart a crashed tenant from checkpoint + WAL, with backoff.
+
+        One watcher per tenant: it waits for the session's ``crashed``
+        event, backs off exponentially, rebuilds the session *in place*
+        (same config, same store, same WAL, same tracer) and keeps
+        watching the replacement. The restart budget is a circuit breaker:
+        a tenant that keeps dying stays failed — its connections keep
+        getting error envelopes — rather than burning CPU in a crash loop.
+        Co-resident tenants never notice any of this.
+        """
+        while True:
+            session = self.sessions.get(name)
+            if session is None:
+                return
+            await session.crashed.wait()
+            if self.sessions.get(name) is not session:
+                continue  # replaced under us (re-OPEN race); watch the new one
+            attempt = self._restart_counts.get(name, 0)
+            if attempt >= self.restart_budget:
+                self.degraded[name] = "circuit-open"
+                logger.error(
+                    "tenant %s: crashed again with restart budget exhausted "
+                    "(%d); circuit open — session stays failed (%s)",
+                    name,
+                    self.restart_budget,
+                    session.failed,
+                )
+                return
+            self.degraded[name] = "restarting"
+            logger.warning(
+                "tenant %s: writer crashed (%s); restart %d/%d in %.3fs",
+                name,
+                session.failed,
+                attempt + 1,
+                self.restart_budget,
+                self.restart_backoff_s * 2**attempt,
+            )
+            await asyncio.sleep(self.restart_backoff_s * 2**attempt)
+            if self.sessions.get(name) is not session or not self.accepting:
+                self.degraded.pop(name, None)
+                return
+            self._restart_counts[name] = attempt + 1
+            replacement = self._rebuild(name, session)
+            self.sessions[name] = replacement
+            self.degraded.pop(name, None)
+
+    def _rebuild(self, name: str, crashed: TenantSession) -> TenantSession:
+        """Build the replacement session for a crashed tenant.
+
+        Reuses the crashed session's store path, WAL (same object — the
+        process never died, so its segments and stats carry over), and
+        tracer. The replacement resumes from the newest checkpoint and
+        replays the WAL tail past it, recovering every acknowledged item —
+        including ones that were still queued when the writer died. It
+        starts with ``swallow_prefix=False``: connected producers never saw
+        a crash and keep sending only *new* points.
+        """
+        store = (
+            str(self.data_dir / name / "ckpt") if self.data_dir is not None else None
+        )
+        if crashed.wal is not None:
+            crashed.wal.stats.tenant_restarts += 1
+        replacement = TenantSession(
+            name,
+            crashed.config,
+            store=store,
+            tracer=crashed.tracer,
+            journal=[] if self.journal else None,
+            wal=crashed.wal,
+        )
+        replacement.restarts = self._restart_counts.get(name, 0)
+        replacement.start(
+            resume="auto" if store is not None else False, swallow_prefix=False
+        )
+        return replacement
+
+    def _make_wal(self, tenant_dir: Path, config: SessionConfig) -> WriteAheadLog:
+        return WriteAheadLog(
+            tenant_dir / "wal",
+            fsync=config.wal_fsync,
+            fsync_every=config.wal_fsync_every,
+            fsync_interval_s=config.wal_fsync_interval_s,
+            segment_bytes=config.wal_segment_bytes,
+        )
 
     # -------------------------------------------------------------- internals
 

@@ -28,13 +28,32 @@ from repro.common.points import StreamPoint
 from repro.common.snapshot import Category, Clustering
 from repro.core.store import NO_ID
 from repro.datasets.io import MalformedRecord
+from repro.runtime.chaos import RuntimeHooks
 from repro.runtime.stats import RuntimeStats
 from repro.runtime.supervisor import Supervisor
+from repro.runtime.wal import WalError, WriteAheadLog
 from repro.serve.config import SessionConfig
 from repro.serve.protocol import ServeError
 
 #: Queue sentinel telling the writer task to exit.
 _CLOSE = object()
+
+
+class _WalCompactionHooks(RuntimeHooks):
+    """Garbage-collect WAL segments once a checkpoint covers them.
+
+    The supervisor calls :meth:`after_checkpoint` right after the durable
+    rename; at that instant the checkpoint's ``stream_offset`` equals
+    ``stats.points_seen``, so every WAL record below it is redundant.
+    """
+
+    def __init__(self, session: "TenantSession") -> None:
+        self.session = session
+
+    def after_checkpoint(self, stride: int, path) -> None:
+        wal = self.session.wal
+        if wal is not None:
+            wal.compact(self.session.supervisor.stats.points_seen)
 
 
 class SessionView:
@@ -135,6 +154,12 @@ class TenantSession:
             the pipeline, in order — the *post-admission* sequence. Tests
             use it to replay a served run through ``api.cluster_stream`` and
             prove byte-identical labels under every backpressure policy.
+        wal: optional :class:`~repro.runtime.wal.WriteAheadLog`. When set,
+            :meth:`offer` journals every admitted item *before* it is
+            acknowledged (ACK ⇒ durable under ``fsync=always``), and
+            :meth:`start` replays the WAL tail past the restored
+            checkpoint's stream offset — a ``kill -9`` at any instant loses
+            zero acknowledged points.
     """
 
     def __init__(
@@ -145,11 +170,15 @@ class TenantSession:
         store=None,
         tracer=None,
         journal: list | None = None,
+        wal: WriteAheadLog | None = None,
     ) -> None:
         self.name = name
         self.config = config
         self.tracer = tracer
         self.journal = journal
+        self.wal = wal
+        if tracer is not None and wal is not None:
+            tracer.wal_source = wal
         self.supervisor = Supervisor(
             config.eps,
             config.tau,
@@ -160,6 +189,7 @@ class TenantSession:
             time_based=config.time_based,
             policy=config.on_malformed,
             stats=RuntimeStats(),
+            hooks=_WalCompactionHooks(self) if wal is not None else None,
             tracer=tracer,
         )
         self.view: SessionView = SessionView.empty(config.eps)
@@ -172,6 +202,9 @@ class TenantSession:
         self.skipped_replay = 0  # replayed prefix consumed after a resume
         self.ingested = 0  # items fed into the pipeline by the writer
         self.queries = 0
+        self.restarts = 0  # supervised restarts of this tenant (service-set)
+        self.wal_error: str | None = None  # last journalling failure, if any
+        self.crashed = asyncio.Event()  # unexpected writer death (supervision)
         self.replay_offset = 0  # prefix length a resume asked us to swallow
         self._skip = 0  # replay prefix still to swallow (resume)
         self._queue: asyncio.Queue = asyncio.Queue(maxsize=config.queue_limit)
@@ -179,25 +212,48 @@ class TenantSession:
 
     # ------------------------------------------------------------- lifecycle
 
-    def start(self, *, resume: bool | str = False) -> int:
+    def start(
+        self, *, resume: bool | str = False, swallow_prefix: bool = True
+    ) -> int:
         """Initialise (or restore) the pipeline and start the writer task.
 
         Returns the replay offset: how many leading raw stream items the
-        restored checkpoint already covers. The session swallows exactly
-        that many subsequent offers itself, so a producer simply re-sends
-        the stream from the beginning after a crash.
+        restored state already covers — the checkpoint's stream offset plus
+        every acknowledged item recovered from the write-ahead log past it.
+        With ``swallow_prefix`` (the default, for full-server restarts) the
+        session swallows exactly that many subsequent offers itself, so a
+        producer simply re-sends the stream from the beginning after a
+        crash. A supervised in-place restart passes ``False``: connected
+        clients never saw the crash and keep sending *new* points only.
         """
         offset = self.supervisor.begin(resume=resume)
-        self.replay_offset = offset
-        self._skip = offset
+        replayed = 0
+        if self.wal is not None:
+            # The acknowledged tail the checkpoint does not cover. Feeding
+            # it reconstructs exactly the pre-crash pipeline state: same
+            # items, same order, same stride boundaries.
+            try:
+                for item in self.wal.replay(offset):
+                    self.supervisor.feed(item)
+                    if self.journal is not None:
+                        self.journal.append(item)
+                    replayed += 1
+                    self.ingested += 1
+            except ReproError as exc:
+                # Deterministic re-failure (e.g. a journaled malformed
+                # record under the strict policy): the session comes back
+                # in the same failed state the crash left it in.
+                self.failed = f"{type(exc).__name__}: {exc}"
+        self.replay_offset = offset + replayed
+        self._skip = self.replay_offset if swallow_prefix else 0
         if self.supervisor.stride > 0:
-            # Restored mid-run: publish the checkpointed clustering so
-            # readers see the resumed state before the first new advance.
+            # Restored mid-run: publish the recovered clustering so readers
+            # see the resumed state before the first new advance.
             self._publish()
         self._writer = asyncio.get_running_loop().create_task(
             self._writer_loop(), name=f"serve-writer-{self.name}"
         )
-        return offset
+        return self.replay_offset
 
     async def close(self) -> None:
         """Stop the writer task (does not checkpoint; see :meth:`drain`)."""
@@ -217,9 +273,13 @@ class TenantSession:
 
         Returns the admission outcome: ``accepted`` (enqueued, or swallowed
         as replayed prefix after a resume), ``shed``, ``rejected``, and the
-        queue ``depth`` afterwards.
+        queue ``depth`` afterwards. With a write-ahead log every accepted
+        item is journaled before enqueueing and the log is committed before
+        this method returns — the acknowledgement implies durability under
+        the configured fsync policy.
         """
         accepted = shed = rejected = 0
+        journaled = 0
         policy = self.config.backpressure
         for item in items:
             self.received += 1
@@ -232,6 +292,19 @@ class TenantSession:
                 self.skipped_replay += 1
                 accepted += 1
                 continue
+            if self.wal is not None:
+                # Journal-then-enqueue: an item the producer will see
+                # acknowledged exists on disk (page cache at worst; the
+                # commit below applies the fsync policy) before the
+                # pipeline can touch it. A failed append (disk full, broken
+                # log) refuses the item instead of acknowledging it.
+                try:
+                    self.wal.append(item)
+                    journaled += 1
+                except WalError as exc:
+                    self.wal_error = str(exc)
+                    rejected += 1
+                    continue
             if policy == "block":
                 await self._queue.put(item)
                 accepted += 1
@@ -253,12 +326,27 @@ class TenantSession:
                     accepted += 1
         self.shed += shed
         self.rejected += rejected
-        return {
+        if self.wal is not None and journaled:
+            try:
+                self.wal.commit()  # the ACK boundary: durable per policy
+            except OSError as exc:
+                # The fsync itself failed: the batch is enqueued but its
+                # durability cannot be promised — withhold the ack.
+                self.wal_error = f"WAL commit failed: {exc}"
+                raise ServeError(
+                    "wal-error",
+                    f"session {self.name!r} could not make the batch "
+                    f"durable: {exc}",
+                ) from exc
+        result = {
             "accepted": accepted,
             "shed": shed,
             "rejected": rejected,
             "depth": self._queue.qsize(),
         }
+        if self.wal_error is not None and rejected:
+            result["wal_error"] = self.wal_error
+        return result
 
     async def drain(self, *, flush_tail: bool = False) -> dict:
         """Stop admitting, flush the queue, take the final checkpoint.
@@ -306,6 +394,16 @@ class TenantSession:
                 self.failed = f"{type(exc).__name__}: {exc}"
                 self._queue.task_done()
                 self._discard_queue()
+                return
+            except Exception as exc:  # noqa: BLE001 - crash isolation
+                # Anything that is not a policy-governed ReproError is an
+                # unexpected crash: isolate the tenant and signal the
+                # service supervisor, which restarts it from
+                # checkpoint + WAL with backoff.
+                self.failed = f"crashed: {type(exc).__name__}: {exc}"
+                self._queue.task_done()
+                self._discard_queue()
+                self.crashed.set()
                 return
             if self.journal is not None:
                 self.journal.append(item)
@@ -397,9 +495,14 @@ class TenantSession:
             "draining": self.draining,
             "drained": self.drained,
             "failed": self.failed,
+            "restarts": self.restarts,
             "runtime": supervisor_stats.as_dict(),
             "config": self.config.as_dict(),
         }
+        if self.wal is not None:
+            payload["wal"] = self.wal.stats.as_dict()
+            if self.wal_error is not None:
+                payload["wal_error"] = self.wal_error
         if self.tracer is not None:
             payload["trace"] = self.tracer.aggregate.latency_summary()
         return payload

@@ -114,3 +114,24 @@ class TestValidation:
         path.write_text("[1, 2, 3]")
         with pytest.raises(CheckpointError, match="not an object"):
             store.load(path)
+
+
+class TestOrphanSweep:
+    def test_stale_tmp_files_swept_on_startup(self, tmp_path):
+        directory = tmp_path / "ck"
+        first = CheckpointStore(directory)
+        first.save(5, PAYLOAD)
+        # A crash between the tmp write and the durable rename strands the
+        # tmp file; no later save or rotation would ever remove it.
+        (directory / "checkpoint-0000000006.json.tmp").write_text("{half a")
+        (directory / "checkpoint-0000000007.json.tmp").write_text("")
+        store = CheckpointStore(directory)
+        assert store.swept_orphans == 2
+        assert list(directory.glob("*.tmp")) == []
+        # Real checkpoints are untouched: the pre-crash state still loads.
+        stride, payload = store.latest()
+        assert stride == 5
+        assert payload == PAYLOAD
+
+    def test_fresh_store_sweeps_nothing(self, store):
+        assert store.swept_orphans == 0

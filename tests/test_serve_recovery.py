@@ -96,12 +96,12 @@ def start_server(data_dir, *, resume=False):
 SRC_DIR = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
 
 
-async def feed(port, streams, *, upto=None):
+async def feed(port, streams, *, upto=None, config=CONFIG):
     """Open every tenant and ingest its stream (or a prefix) over TCP."""
     async with await ServeClient.connect("127.0.0.1", port) as client:
         replay_offsets = {}
         for name, points in streams.items():
-            opened = await client.open_session(name, CONFIG, resume="auto")
+            opened = await client.open_session(name, config, resume="auto")
             replay_offsets[name] = opened["replay_offset"]
             cut = len(points) if upto is None else upto
             for i in range(0, cut, 50):
@@ -156,6 +156,51 @@ def test_sigkill_then_resume_matches_offline(tmp_path):
             f"{name}: served labels diverged from offline after kill/resume"
         )
         assert snapshots[name]["stride"] == 300 // STRIDE - 1  # exact strides
+
+
+@pytest.mark.chaos
+def test_sigkill_with_wal_loses_zero_acked_points(tmp_path):
+    """The exactly-once drill: with ``--wal --wal-fsync always`` every
+    ``INGEST`` ack is a durability receipt, so a SIGKILL at an arbitrary
+    instant after the last ack loses *nothing* — the resumed replay offset
+    equals exactly the number of acknowledged points, not merely the last
+    checkpoint boundary."""
+    wal_config = {**CONFIG, "wal": True, "wal_fsync": "always"}
+    streams = {name: make() for name, make in TENANTS.items()}
+    cut = 185  # not a checkpoint boundary, not even a stride boundary
+
+    proc, port = start_server(tmp_path)
+    try:
+        # feed() returns only after every INGEST reply for the prefix —
+        # all `cut` points are acknowledged, hence journaled and fsynced.
+        asyncio.run(feed(port, streams, upto=cut, config=wal_config))
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=10)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+    proc, port = start_server(tmp_path, resume=True)
+    try:
+        offsets = asyncio.run(feed(port, streams, config=wal_config))
+        snapshots = asyncio.run(drain_and_snapshot(port, sorted(streams)))
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+    for name, points in streams.items():
+        # Zero acknowledged points lost: checkpoint + WAL tail covers the
+        # acked prefix exactly.
+        assert offsets[name] == cut, (
+            f"{name}: replay offset {offsets[name]} != {cut} acked points — "
+            f"{cut - offsets[name]} acknowledged point(s) lost to SIGKILL"
+        )
+        assert snapshots[name]["labels"] == offline_final_labels(points), (
+            f"{name}: served labels diverged from offline after kill/resume"
+        )
 
 
 @pytest.mark.chaos
