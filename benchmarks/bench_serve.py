@@ -1,22 +1,32 @@
 """Serving throughput and query latency under multi-tenant load.
 
-Boots the real asyncio serve stack (ClusterService + TCP server) in one
-process, then drives it with ``repro.serve.loadgen``: 4 concurrent tenants,
-each with its own connection and deterministic dataset stream, interleaving
-INGEST frames with pid- and coords-queries. The aggregate — ingest
-points/sec plus query p50/p95 — lands in
-``benchmarks/results/BENCH_serve.json`` so CI can archive serving capacity
-next to the kernel benchmarks.
+Boots the real asyncio serve stack in one process, then drives it with
+``repro.serve.loadgen``: 4 concurrent tenants, each with its own connection
+and deterministic dataset stream, interleaving INGEST frames with pid- and
+coords-queries. The aggregate — ingest points/sec plus query p50/p95 —
+lands in ``benchmarks/results/BENCH_serve.json`` so CI can archive serving
+capacity next to the kernel benchmarks.
+
+The sharded variant measures the *aggregate-throughput scaling curve* of
+``--shards N``: the same workload against 0 (single-process), 1, 2 and 4
+worker processes, recorded with the host's CPU count in
+``benchmarks/results/BENCH_shard.json``. On a single-core runner the curve
+is flat by construction (there is nothing to scale onto); the acceptance
+target — >= 2.5x aggregate ingest at 4 shards over ``--shards 0`` with 4+
+tenants — applies to 4-core runners (the CI ``shard-smoke`` job).
 
 No latency assertion gates the numbers (shared runners jitter); what *is*
 asserted is the subsystem's core promise: every tenant's final served
 snapshot is byte-identical to an offline ``api.cluster_stream`` run over
-the same stream.
+the same stream — sharded or not.
 """
 
+import argparse
 import asyncio
 import json
 import os
+
+import pytest
 
 from repro.api import cluster_stream
 from repro.common.config import WindowSpec
@@ -25,13 +35,20 @@ from repro.datasets.registry import DATASETS
 from repro.serve.client import ServeClient
 from repro.serve.config import SessionConfig
 from repro.serve.loadgen import run_loadgen, tenant_stream
+from repro.serve.router import run_router
 from repro.serve.server import run_server
 from repro.serve.service import ClusterService
+from repro.serve.shard import ShardedClusterService
 
 N_TENANTS = 4
 POINTS_PER_TENANT = 2000
 DATASET = "maze"
 BATCH = 50
+
+#: The scaling curve recorded in BENCH_shard.json (0 = single-process).
+SHARD_CURVE = (0, 1, 2, 4)
+#: Smaller per-tenant stream for the curve: four deployments are measured.
+SHARD_POINTS = 1000
 
 
 def serve_config() -> SessionConfig:
@@ -45,46 +62,65 @@ def serve_config() -> SessionConfig:
     )
 
 
-async def _bench() -> dict:
-    """One event loop hosting both the server and the load generator."""
-    service = ClusterService()
-    ready, stop = asyncio.Event(), asyncio.Event()
-    server = asyncio.create_task(
-        run_server(service, "127.0.0.1", 0, ready=ready, stop=stop)
-    )
-    await asyncio.wait_for(ready.wait(), timeout=10)
+async def _verify_offline(port: int, config: SessionConfig, tenants: int, n_points: int):
+    """Correctness gate: each tenant's served snapshot == offline run."""
+    spec = WindowSpec(window=config.window, stride=config.stride)
+    async with await ServeClient.connect("127.0.0.1", port) as client:
+        for i in range(tenants):
+            points = tenant_stream(DATASET, n_points, i, 0)
+            served = await client.snapshot(f"tenant-{i}")
+            last = None
+            for snapshot, _ in cluster_stream(
+                points, spec, eps=config.eps, tau=config.tau
+            ):
+                last = snapshot
+            expected = {str(pid): cid for pid, cid in last.labels.items()}
+            assert served["labels"] == expected, (
+                f"tenant-{i}: served labels diverged from offline"
+            )
+
+
+async def _bench_deployment(
+    shards: int, *, tenants: int, points_per_tenant: int
+) -> dict:
+    """Measure one deployment shape (``shards=0`` = the in-process server)."""
     config = serve_config()
+    ready, stop = asyncio.Event(), asyncio.Event()
+    if shards == 0:
+        core = ClusterService()
+        task = asyncio.create_task(
+            run_server(core, "127.0.0.1", 0, ready=ready, stop=stop)
+        )
+    else:
+        core = ShardedClusterService(shards)
+        task = asyncio.create_task(
+            run_router(core, "127.0.0.1", 0, ready=ready, stop=stop)
+        )
+    await asyncio.wait_for(ready.wait(), timeout=60)
     try:
         report = await run_loadgen(
             "127.0.0.1",
-            service.port,
-            tenants=N_TENANTS,
-            points_per_tenant=POINTS_PER_TENANT,
+            core.port,
+            tenants=tenants,
+            points_per_tenant=points_per_tenant,
             dataset=DATASET,
             config=config,
             batch=BATCH,
             query_every=1,
             flush_tail=True,
         )
-        # Correctness gate: each tenant's served snapshot == offline run.
-        spec = WindowSpec(window=config.window, stride=config.stride)
-        async with await ServeClient.connect("127.0.0.1", service.port) as client:
-            for i in range(N_TENANTS):
-                points = tenant_stream(DATASET, POINTS_PER_TENANT, i, 0)
-                served = await client.snapshot(f"tenant-{i}")
-                last = None
-                for snapshot, _ in cluster_stream(
-                    points, spec, eps=config.eps, tau=config.tau
-                ):
-                    last = snapshot
-                expected = {str(pid): cid for pid, cid in last.labels.items()}
-                assert served["labels"] == expected, (
-                    f"tenant-{i}: served labels diverged from offline"
-                )
+        await _verify_offline(core.port, config, tenants, points_per_tenant)
     finally:
         stop.set()
-        await asyncio.wait_for(server, timeout=30)
+        await asyncio.wait_for(task, timeout=60)
     return report
+
+
+async def _bench() -> dict:
+    """The classic single-process serving benchmark."""
+    return await _bench_deployment(
+        0, tenants=N_TENANTS, points_per_tenant=POINTS_PER_TENANT
+    )
 
 
 def run_serve_bench() -> tuple[dict, str]:
@@ -97,6 +133,44 @@ def run_serve_bench() -> tuple[dict, str]:
         **report,
     }
     path = os.path.join(os.path.abspath(RESULTS_DIR), "BENCH_serve.json")
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return payload, path
+
+
+def run_shard_bench(shard_counts=SHARD_CURVE) -> tuple[dict, str]:
+    """Measure the aggregate-throughput scaling curve over ``shard_counts``.
+
+    Always includes the ``shards=0`` single-process baseline (prepended if
+    missing) so every point carries a speedup ratio against it.
+    """
+    counts = list(dict.fromkeys([0, *shard_counts]))
+    curve = []
+    for shards in counts:
+        report = asyncio.run(
+            _bench_deployment(
+                shards, tenants=N_TENANTS, points_per_tenant=SHARD_POINTS
+            )
+        )
+        report.pop("tenants_detail", None)
+        curve.append({"shards": shards, **report})
+    baseline = curve[0]["ingest_points_per_s"]
+    payload = {
+        "workload": f"{DATASET} x {N_TENANTS} tenants, "
+        f"{SHARD_POINTS} points each, batch {BATCH}",
+        "cpu_count": os.cpu_count(),
+        "offline_equivalence": "verified",
+        "curve": curve,
+        "speedup_vs_single_process": {
+            str(point["shards"]): (
+                point["ingest_points_per_s"] / baseline if baseline > 0 else None
+            )
+            for point in curve
+        },
+    }
+    path = os.path.join(os.path.abspath(RESULTS_DIR), "BENCH_shard.json")
     os.makedirs(os.path.dirname(path), exist_ok=True)
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2)
@@ -120,7 +194,43 @@ def test_serve_throughput(benchmark):
     write_result("serve_throughput", "\n".join(lines))
 
 
+@pytest.mark.chaos
+def test_shard_scaling(benchmark):
+    """The scaling curve spawns worker processes — chaos-marked like the
+    other process-level drills. No speedup assertion here: the 2.5x gate
+    is meaningless on a 1-core runner and is enforced by the CI
+    ``shard-smoke`` job on 4-core hardware instead."""
+    payload, path = benchmark.pedantic(
+        run_shard_bench, args=((0, 2),), rounds=1, iterations=1
+    )
+    lines = [f"Shard scaling ({payload['workload']}, {payload['cpu_count']} cores):"]
+    for point in payload["curve"]:
+        speedup = payload["speedup_vs_single_process"][str(point["shards"])]
+        lines.append(
+            f"  shards={point['shards']}: "
+            f"{point['ingest_points_per_s']:.0f} points/s aggregate "
+            f"({speedup:.2f}x vs single-process)"
+        )
+    lines.append(f"[json written to {path}]")
+    write_result("shard_scaling", "\n".join(lines))
+
+
 if __name__ == "__main__":
-    payload, path = run_serve_bench()
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--shards",
+        type=int,
+        nargs="*",
+        default=None,
+        metavar="N",
+        help="measure the sharded scaling curve for these shard counts "
+        "(a shards=0 baseline is always included) and write "
+        "BENCH_shard.json; omit for the classic single-process bench",
+    )
+    cli = parser.parse_args()
+    if cli.shards is not None:
+        payload, path = run_shard_bench(tuple(cli.shards) or SHARD_CURVE)
+    else:
+        payload, path = run_serve_bench()
     print(json.dumps(payload, indent=2))
     print(f"written to {path}")

@@ -219,6 +219,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="base seconds of the exponential restart backoff "
         "(backoff * 2**attempt)",
     )
+    serve.add_argument(
+        "--restart-reset",
+        type=float,
+        default=5.0,
+        help="seconds a restarted tenant (or shard worker) must stay "
+        "healthy before its restart-budget window resets",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="worker processes to shard tenants across (consistent hashing "
+        "on the tenant name); 0 = single-process serving (the default)",
+    )
 
     loadgen = commands.add_parser(
         "loadgen",

@@ -55,16 +55,36 @@ class PrometheusTextfileExporter:
     textfile collector. The file is rewritten atomically (tmp + rename) on
     every emit, so a scraper never reads a torn file; ``every`` throttles the
     rewrite to one per N strides (the final totals land on ``close()``).
+
+    ``labels`` stamps extra label pairs onto *every* series (the sharded
+    serving layer passes ``{"shard": k}`` so one Prometheus job can scrape
+    all workers without relabeling). With no extra labels the output is
+    byte-identical to what this exporter has always produced.
     """
 
-    def __init__(self, path: str | os.PathLike, every: int = 1) -> None:
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        every: int = 1,
+        *,
+        labels: dict | None = None,
+    ) -> None:
         if every < 1:
             raise ValueError(f"every must be >= 1, got {every}")
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self.every = every
+        self.labels = dict(labels or {})
+        self._extra = ",".join(
+            f'{key}="{value}"' for key, value in sorted(self.labels.items())
+        )
         self._emitted = 0
         self._aggregate = None
+
+    def _line(self, name: str, value, inner: str = "") -> str:
+        """One exposition line, with the extra labels merged in."""
+        body = ",".join(part for part in (inner, self._extra) if part)
+        return f"{name}{{{body}}} {value}" if body else f"{name} {value}"
 
     def emit(self, trace: StrideTrace) -> None:
         from repro.observability.trace import TraceAggregate
@@ -86,23 +106,27 @@ class PrometheusTextfileExporter:
         lines = [
             "# HELP disc_build_info Build metadata of the emitting process.",
             "# TYPE disc_build_info gauge",
-            f'disc_build_info{{version="{__version__}"}} 1',
+            self._line("disc_build_info", 1, f'version="{__version__}"'),
             "# HELP disc_strides_total Window advances processed.",
             "# TYPE disc_strides_total counter",
-            f"disc_strides_total {0 if agg is None else agg.strides}",
+            self._line("disc_strides_total", 0 if agg is None else agg.strides),
         ]
         if agg is None:
             return "\n".join(lines) + "\n"
         lines += [
             "# HELP disc_stride_seconds_total Wall time spent inside advance().",
             "# TYPE disc_stride_seconds_total counter",
-            f"disc_stride_seconds_total {sum(agg.elapsed):.9f}",
+            self._line("disc_stride_seconds_total", f"{sum(agg.elapsed):.9f}"),
             "# HELP disc_phase_seconds_total Wall time per pipeline phase.",
             "# TYPE disc_phase_seconds_total counter",
         ]
         for name in PHASES:
             lines.append(
-                f'disc_phase_seconds_total{{phase="{name}"}} {agg.phases[name]:.9f}'
+                self._line(
+                    "disc_phase_seconds_total",
+                    f"{agg.phases[name]:.9f}",
+                    f'phase="{name}"',
+                )
             )
         lines += [
             "# HELP disc_counter_total Algorithm counters (see trace schema).",
@@ -110,14 +134,16 @@ class PrometheusTextfileExporter:
         ]
         for name in COUNTERS:
             lines.append(
-                f'disc_counter_total{{counter="{name}"}} {agg.counters[name]}'
+                self._line(
+                    "disc_counter_total", agg.counters[name], f'counter="{name}"'
+                )
             )
         lines += [
             "# HELP disc_index_total Spatial-index statistics.",
             "# TYPE disc_index_total counter",
         ]
         for name, value in agg.index.as_dict().items():
-            lines.append(f'disc_index_total{{stat="{name}"}} {value}')
+            lines.append(self._line("disc_index_total", value, f'stat="{name}"'))
         if agg.store is not None:
             lines += [
                 "# HELP disc_store_gauge PointStore arena occupancy gauges.",
@@ -125,14 +151,16 @@ class PrometheusTextfileExporter:
             ]
             for name, value in agg.store.items():
                 rendered = f"{value:.6f}" if name == "occupancy" else str(value)
-                lines.append(f'disc_store_gauge{{stat="{name}"}} {rendered}')
+                lines.append(
+                    self._line("disc_store_gauge", rendered, f'stat="{name}"')
+                )
         if agg.wal is not None:
             lines += [
                 "# HELP disc_wal_total Write-ahead-log counters (cumulative).",
                 "# TYPE disc_wal_total counter",
             ]
             for name, value in agg.wal.items():
-                lines.append(f'disc_wal_total{{stat="{name}"}} {value}')
+                lines.append(self._line("disc_wal_total", value, f'stat="{name}"'))
         if agg.events:
             lines += [
                 "# HELP disc_events_total Cluster evolution events.",
@@ -140,7 +168,7 @@ class PrometheusTextfileExporter:
             ]
             for kind in sorted(agg.events):
                 lines.append(
-                    f'disc_events_total{{kind="{kind}"}} {agg.events[kind]}'
+                    self._line("disc_events_total", agg.events[kind], f'kind="{kind}"')
                 )
         return "\n".join(lines) + "\n"
 

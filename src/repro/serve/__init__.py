@@ -19,6 +19,11 @@ Modules:
   with backoff, circuit breaker).
 - :mod:`repro.serve.protocol` — the stdlib-only JSON-lines TCP protocol.
 - :mod:`repro.serve.server` — the asyncio TCP server (``repro serve``).
+- :mod:`repro.serve.shard` — tenant placement (consistent hashing) and the
+  shard worker processes of a ``--shards N`` deployment.
+- :mod:`repro.serve.router` — the sharded front end: one TCP listener
+  proxying frames to per-shard Unix-socket workers, with worker
+  supervision mirroring the per-tenant circuit breaker.
 - :mod:`repro.serve.client` — the asyncio client used by tests and loadgen.
 - :mod:`repro.serve.loadgen` — the load generator (``repro loadgen``).
 
@@ -31,6 +36,7 @@ from repro.serve.config import BACKPRESSURE_POLICIES, SessionConfig
 from repro.serve.protocol import ProtocolError, ServeError
 from repro.serve.service import ClusterService
 from repro.serve.session import SessionView, TenantSession
+from repro.serve.shard import ShardedClusterService, place
 
 __all__ = [
     "BACKPRESSURE_POLICIES",
@@ -41,5 +47,7 @@ __all__ = [
     "ServeError",
     "SessionConfig",
     "SessionView",
+    "ShardedClusterService",
     "TenantSession",
+    "place",
 ]

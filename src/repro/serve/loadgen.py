@@ -4,10 +4,14 @@ Each tenant gets its own connection, its own session, and its own
 deterministic stream (a dataset simulator seeded per tenant), so runs are
 reproducible and a served session can be re-verified offline against
 ``api.cluster_stream`` on the same stream. The generator drives ingestion
-in batches at a target per-tenant rate (or flat out), interleaves tracked
-(``pid``) and ad-hoc (``coords``) queries, and reports ingest throughput
-plus query-latency percentiles — the numbers ``benchmarks/bench_serve.py``
-records as ``BENCH_serve.json``.
+in batches at a target per-tenant rate (or flat out) while a *separate*
+probe task on a *separate* connection issues tracked (``pid``) and ad-hoc
+(``coords``) queries against a fixed intended-time schedule — the
+coordinated-omission correction: a slow query inflates the reported
+percentiles instead of stalling the ingest pacing loop and hiding both
+numbers. The report (ingest throughput plus query-latency percentiles) is
+what ``benchmarks/bench_serve.py`` records as ``BENCH_serve.json`` and
+``BENCH_shard.json``.
 """
 
 from __future__ import annotations
@@ -29,6 +33,76 @@ def tenant_stream(dataset: str, n_points: int, tenant_index: int, seed: int):
     return DATASETS[dataset].load(n_points, seed=seed + 1000 * tenant_index)
 
 
+def probe_interval_s(rate: float, batch: int, query_every: int) -> float:
+    """Seconds between QUERY probes (two probes per ``query_every`` batches).
+
+    Matches the cadence the old inline probes had — one pid-query and one
+    coords-query every ``query_every`` ingest batches — but as a wall-clock
+    schedule fixed up front, independent of how ingestion actually
+    progresses. Unpaced runs (``rate=0``) have no intended batch timing to
+    derive a schedule from, so probes fall back to a fixed cadence.
+    """
+    if rate > 0:
+        return (query_every * batch) / (2.0 * rate)
+    return 0.01 * max(1, query_every)
+
+
+async def _probe_tenant(
+    host: str,
+    port: int,
+    name: str,
+    points,
+    *,
+    interval: float,
+    batch: int,
+    stop: asyncio.Event,
+    latencies: list[float],
+) -> None:
+    """Issue QUERY probes on their own connection against a fixed schedule.
+
+    This is the coordinated-omission-free half of the load generator. Two
+    properties matter:
+
+    - **Own connection, own task.** The protocol answers frames strictly in
+      order per connection, so a probe sharing the ingest socket queues
+      behind a blocked ``INGEST`` — the probe then measures the ingest
+      stall as well as masking it (the pacing loop stops sending while it
+      waits). Probes here never perturb ingest pacing.
+    - **Intended-time latency.** Probe ``k`` is *scheduled* at
+      ``start + k * interval`` and its latency is measured from that
+      intended send time, not from whenever the loop got around to sending
+      it. A slow response therefore inflates the percentiles instead of
+      silently delaying — and hiding — the probes behind it.
+    """
+    if not points:
+        return
+    client = await ServeClient.connect(host, port)
+    try:
+        start = time.perf_counter()
+        k = 0
+        while not stop.is_set():
+            intended = start + k * interval
+            delay = intended - time.perf_counter()
+            if delay > 0:
+                try:
+                    await asyncio.wait_for(stop.wait(), timeout=delay)
+                    break  # drained while idle; no probe owed
+                except asyncio.TimeoutError:
+                    pass
+            sample = points[(k * batch) % len(points)]
+            try:
+                if k % 2 == 0:
+                    await client.query_pid(name, sample.pid)
+                else:
+                    await client.query_coords(name, sample.coords)
+            except (ReproError, OSError):
+                break  # session failed/closed under us; stop probing
+            latencies.append(time.perf_counter() - intended)
+            k += 1
+    finally:
+        await client.close()
+
+
 async def _run_tenant(
     host: str,
     port: int,
@@ -42,13 +116,29 @@ async def _run_tenant(
     flush_tail: bool,
 ) -> dict:
     client = await ServeClient.connect(host, port)
+    probe_task: asyncio.Task | None = None
+    stop_probes = asyncio.Event()
+    query_s: list[float] = []
     try:
         await client.open_session(name, config, resume="auto")
+        if query_every:
+            probe_task = asyncio.create_task(
+                _probe_tenant(
+                    host,
+                    port,
+                    name,
+                    points,
+                    interval=probe_interval_s(rate, batch, query_every),
+                    batch=batch,
+                    stop=stop_probes,
+                    latencies=query_s,
+                ),
+                name=f"loadgen-probes-{name}",
+            )
         counts = {"accepted": 0, "shed": 0, "rejected": 0}
-        query_s: list[float] = []
         start = time.perf_counter()
         next_due = start
-        for batch_no, offset in enumerate(range(0, len(points), batch)):
+        for offset in range(0, len(points), batch):
             chunk = points[offset : offset + batch]
             if rate > 0:
                 next_due += len(chunk) / rate
@@ -58,14 +148,10 @@ async def _run_tenant(
             reply = await client.ingest(name, chunk)
             for key in counts:
                 counts[key] += reply.get(key, 0)
-            if query_every and batch_no % query_every == 0:
-                t0 = time.perf_counter()
-                await client.query_pid(name, chunk[0].pid)
-                query_s.append(time.perf_counter() - t0)
-                t0 = time.perf_counter()
-                await client.query_coords(name, chunk[-1].coords)
-                query_s.append(time.perf_counter() - t0)
         ingest_elapsed = time.perf_counter() - start
+        stop_probes.set()
+        if probe_task is not None:
+            await probe_task
         drain = await client.drain(name, flush_tail=flush_tail)
         stats = await client.stats(name)
         return {
@@ -83,6 +169,13 @@ async def _run_tenant(
             "strides": stats["runtime"]["strides"],
         }
     finally:
+        stop_probes.set()
+        if probe_task is not None and not probe_task.done():
+            probe_task.cancel()
+            try:
+                await probe_task
+            except asyncio.CancelledError:
+                pass
         await client.close()
 
 
@@ -108,8 +201,9 @@ async def run_loadgen(
             fast as the server admits — with the ``block`` policy that *is*
             the backpressure-governed maximum).
         batch: points per ``INGEST`` frame.
-        query_every: issue one pid-query and one coords-query every N
-            batches (``0`` disables queries).
+        query_every: probe cadence — the probe task targets two queries
+            (one pid, one coords) per N batches' worth of intended ingest
+            time, on its own connection (``0`` disables queries).
         flush_tail: end each session with end-of-stream semantics so its
             final snapshot matches an offline ``cluster_stream`` run.
     """

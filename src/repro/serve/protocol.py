@@ -19,6 +19,13 @@ be parsed is *not* a protocol error: it is forwarded to the session as a
 input-fault policy (strict/skip/clamp) decides its fate — the wire format
 stays policy-agnostic, exactly like the file readers.
 
+The protocol is deployment-agnostic: a sharded server (``--shards N``)
+speaks exactly the same frames. The only visible differences are additive —
+a session-less ``STATS`` response gains ``shards``, ``router_pid``,
+``worker_restarts`` and a ``shard_detail`` list (per-shard pid, rss_bytes,
+alive, restarts, degraded state, tenant names), and frames addressed to a
+tenant whose worker is down carry the ``shard-unavailable`` error code.
+
 See ``docs/serving.md`` for the full frame catalogue.
 """
 
@@ -44,6 +51,7 @@ ERROR_CODES = (
     "draining",  # INGEST after DRAIN
     "session-failed",  # the writer task died (e.g. strict-policy fault)
     "wal-error",  # the write-ahead log could not make a batch durable
+    "shard-unavailable",  # the owning worker is down/restarting/circuit-open
     "internal",  # unexpected server-side failure
 )
 

@@ -249,13 +249,23 @@ async def run_server(
 
 
 def main(args) -> int:
-    """Entry point behind ``repro serve``."""
+    """Entry point behind ``repro serve``.
+
+    ``--shards N`` (N >= 1) hands the whole deployment to the sharded
+    front end in :mod:`repro.serve.router`; ``--shards 0`` (the default)
+    is the original single-process path, byte-for-byte.
+    """
+    if getattr(args, "shards", 0):
+        from repro.serve import router
+
+        return router.main(args)
     service = ClusterService(
         data_dir=args.data_dir,
         metrics_dir=args.metrics_dir,
         trace_dir=args.trace_dir,
         restart_budget=args.restart_budget,
         restart_backoff_s=args.restart_backoff,
+        restart_reset_s=getattr(args, "restart_reset", 5.0),
     )
     try:
         asyncio.run(

@@ -57,10 +57,18 @@ class ClusterService:
             stride to ``<trace_dir>/<tenant>.jsonl``.
         journal: when True, every session records its post-admission item
             sequence in ``session.journal`` (test instrumentation).
-        restart_budget: supervised restarts allowed per tenant before the
-            circuit breaker opens and the tenant stays failed.
+        restart_budget: supervised restarts allowed per tenant *per
+            unhealthy window* before the circuit breaker opens and the
+            tenant stays failed.
         restart_backoff_s: base of the exponential restart backoff
             (``backoff * 2**attempt`` seconds before each restart).
+        restart_reset_s: how long a restarted tenant must stay healthy for
+            its budget window to close (the restart count resets to 0). A
+            tenant that crashes once a day forever keeps healing; only a
+            crash *loop* opens the circuit.
+        metric_labels: extra Prometheus labels stamped on every series of
+            the per-tenant textfiles (the sharded deployment passes
+            ``{"shard": k}``).
     """
 
     def __init__(
@@ -72,6 +80,8 @@ class ClusterService:
         journal: bool = False,
         restart_budget: int = 3,
         restart_backoff_s: float = 0.05,
+        restart_reset_s: float = 5.0,
+        metric_labels: dict | None = None,
     ) -> None:
         self.data_dir = None if data_dir is None else Path(data_dir)
         self.metrics_dir = None if metrics_dir is None else Path(metrics_dir)
@@ -79,12 +89,15 @@ class ClusterService:
         self.journal = journal
         self.restart_budget = restart_budget
         self.restart_backoff_s = restart_backoff_s
+        self.restart_reset_s = restart_reset_s
+        self.metric_labels = dict(metric_labels or {})
         self.sessions: dict[str, TenantSession] = {}
         self.degraded: dict[str, str] = {}  # tenant -> "restarting"/"circuit-open"
         self.accepting = True
         self.port: int | None = None  # set by run_server once bound
         self._watchers: dict[str, asyncio.Task] = {}
-        self._restart_counts: dict[str, int] = {}
+        self._restart_counts: dict[str, int] = {}  # current unhealthy window
+        self._restart_totals: dict[str, int] = {}  # lifetime (STATS)
         if self.data_dir is not None:
             self.data_dir.mkdir(parents=True, exist_ok=True)
 
@@ -218,7 +231,7 @@ class ClusterService:
             "accepting": self.accepting,
             "sessions": sorted(self.sessions),
             "degraded": {name: state for name, state in sorted(self.degraded.items())},
-            "tenant_restarts": sum(self._restart_counts.values()),
+            "tenant_restarts": sum(self._restart_totals.values()),
             "received": sum(s.received for s in self.sessions.values()),
             "ingested": sum(s.ingested for s in self.sessions.values()),
             "queries": sum(s.queries for s in self.sessions.values()),
@@ -248,12 +261,34 @@ class ClusterService:
         a tenant that keeps dying stays failed — its connections keep
         getting error envelopes — rather than burning CPU in a crash loop.
         Co-resident tenants never notice any of this.
+
+        The budget covers one *unhealthy window*, not the tenant's
+        lifetime: a replacement that stays healthy for ``restart_reset_s``
+        resets the count, so isolated crashes days apart never accumulate
+        into a spurious circuit-open (they still show up in the cumulative
+        ``tenant_restarts`` stat).
         """
         while True:
             session = self.sessions.get(name)
             if session is None:
                 return
-            await session.crashed.wait()
+            if self._restart_counts.get(name, 0) and not session.crashed.is_set():
+                # A budget window is open: give the replacement
+                # restart_reset_s to prove itself before charging the next
+                # crash against the same window.
+                try:
+                    await asyncio.wait_for(
+                        session.crashed.wait(), timeout=self.restart_reset_s
+                    )
+                except asyncio.TimeoutError:
+                    if (
+                        self.sessions.get(name) is session
+                        and session.failed is None
+                    ):
+                        self._restart_counts[name] = 0
+                    continue
+            else:
+                await session.crashed.wait()
             if self.sessions.get(name) is not session:
                 continue  # replaced under us (re-OPEN race); watch the new one
             attempt = self._restart_counts.get(name, 0)
@@ -281,6 +316,7 @@ class ClusterService:
                 self.degraded.pop(name, None)
                 return
             self._restart_counts[name] = attempt + 1
+            self._restart_totals[name] = self._restart_totals.get(name, 0) + 1
             replacement = self._rebuild(name, session)
             self.sessions[name] = replacement
             self.degraded.pop(name, None)
@@ -309,7 +345,7 @@ class ClusterService:
             journal=[] if self.journal else None,
             wal=crashed.wal,
         )
-        replacement.restarts = self._restart_counts.get(name, 0)
+        replacement.restarts = self._restart_totals.get(name, 0)
         replacement.start(
             resume="auto" if store is not None else False, swallow_prefix=False
         )
@@ -340,7 +376,10 @@ class ClusterService:
             sinks.append(JsonlTraceWriter(self.trace_dir / f"{name}.jsonl"))
         if self.metrics_dir is not None:
             sinks.append(
-                PrometheusTextfileExporter(self.metrics_dir / f"{name}.prom")
+                PrometheusTextfileExporter(
+                    self.metrics_dir / f"{name}.prom",
+                    labels=self.metric_labels or None,
+                )
             )
         return Tracer(*sinks)
 

@@ -23,7 +23,7 @@ import math
 
 from repro.common.config import WindowSpec
 from repro.common.distance import squared_distance
-from repro.common.errors import ReproError
+from repro.common.errors import ConfigurationError, ReproError
 from repro.common.points import StreamPoint
 from repro.common.snapshot import Category, Clustering
 from repro.core.store import NO_ID
@@ -159,7 +159,14 @@ class TenantSession:
             acknowledged (ACK ⇒ durable under ``fsync=always``), and
             :meth:`start` replays the WAL tail past the restored
             checkpoint's stream offset — a ``kill -9`` at any instant loses
-            zero acknowledged points.
+            zero acknowledged points. A WAL demands the ``block`` policy:
+            :meth:`offer` journals-then-enqueues, and the shedding policies
+            drop *already journaled (and acked)* items from the queue, so a
+            post-crash replay would resurrect points the pre-crash pipeline
+            never fed and the restarted tenant's labels would silently
+            diverge from a never-crashed run. ``SessionConfig`` enforces the
+            rule for config-driven WALs; this constructor enforces it again
+            for directly injected ``wal`` objects, which bypass the config.
     """
 
     def __init__(
@@ -172,6 +179,14 @@ class TenantSession:
         journal: list | None = None,
         wal: WriteAheadLog | None = None,
     ) -> None:
+        if wal is not None and config.backpressure != "block":
+            raise ConfigurationError(
+                f"session {name!r}: a write-ahead log requires the 'block' "
+                f"backpressure policy, not {config.backpressure!r} — "
+                "shed-oldest/reject drop items after they were journaled "
+                "and acked, so WAL replay after a crash would resurrect "
+                "points the live pipeline never processed"
+            )
         self.name = name
         self.config = config
         self.tracer = tracer

@@ -1,0 +1,142 @@
+"""The load generator's latency accounting: no coordinated omission.
+
+Regression background: ``run_loadgen`` used to issue its QUERY probes
+inline on the ingest task and time them with ``perf_counter`` around the
+await. Under load that commits the classic coordinated-omission sin twice
+over: a slow query stalls the ingest pacing loop (understating the reported
+ingest rate), and the probes that *should* have been sent during the stall
+are simply never sent (understating query p95 exactly when the server is
+slow). The probes now run on their own task and their own connection
+against a fixed intended-time schedule.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+import repro.serve.server as server_mod
+from repro.serve import SessionConfig
+from repro.serve.loadgen import probe_interval_s, run_loadgen
+from repro.serve.server import run_server
+from repro.serve.service import ClusterService
+
+CONFIG = SessionConfig(eps=0.8, tau=4, window=40, stride=10, checkpoint_every=4)
+
+
+class TestProbeSchedule:
+    def test_interval_matches_the_old_per_batch_cadence(self):
+        # Two probes every query_every batches' worth of intended time.
+        assert probe_interval_s(1000.0, 50, 2) == pytest.approx(0.05)
+        assert probe_interval_s(500.0, 20, 1) == pytest.approx(0.02)
+
+    def test_unpaced_runs_fall_back_to_a_fixed_cadence(self):
+        assert probe_interval_s(0.0, 50, 3) == pytest.approx(0.03)
+        assert probe_interval_s(0.0, 50, 0) == pytest.approx(0.01)
+
+
+class TestCoordinatedOmission:
+    def test_slow_queries_stall_neither_pacing_nor_the_percentiles(
+        self, monkeypatch
+    ):
+        """Serve QUERYs artificially slowly and drive a paced ingest.
+
+        Pre-fix this test fails on both assertions at once: with probes
+        inline, ten batches x two queries x 50 ms stretch the ingest loop
+        past a second (the intended schedule is ~0.1 s), while each probe
+        measures only its own await (~50 ms), so the reported p95 never
+        shows the backlog. Post-fix, ingest finishes on schedule and the
+        percentiles — measured against the intended send times — surface
+        the slow server instead of hiding it.
+        """
+        QUERY_DELAY = 0.05
+        real_dispatch = server_mod.dispatch
+
+        async def slow_dispatch(service, frame):
+            if frame.get("op") == "QUERY":
+                await asyncio.sleep(QUERY_DELAY)
+            return await real_dispatch(service, frame)
+
+        monkeypatch.setattr(server_mod, "dispatch", slow_dispatch)
+
+        async def run():
+            service = ClusterService()
+            ready, stop = asyncio.Event(), asyncio.Event()
+            task = asyncio.create_task(
+                run_server(service, "127.0.0.1", 0, ready=ready, stop=stop)
+            )
+            await ready.wait()
+            try:
+                return await run_loadgen(
+                    "127.0.0.1",
+                    service.port,
+                    tenants=1,
+                    points_per_tenant=200,
+                    dataset="maze",
+                    config=CONFIG,
+                    rate=2000.0,
+                    batch=20,
+                    query_every=1,
+                    flush_tail=False,
+                    seed=5,
+                )
+            finally:
+                stop.set()
+                await task
+
+        report = asyncio.run(run())
+        detail = report["tenants_detail"][0]
+        assert report["accepted_total"] == 200
+        # Ingest pacing is probe-independent: 200 points at 2000/s is an
+        # intended 0.1 s. Pre-fix the inline probes (>= 10 batches x 2
+        # queries x 50 ms) pushed this past a full second.
+        assert detail["ingest_seconds"] < 0.6, (
+            f"slow queries stalled the ingest loop: "
+            f"{detail['ingest_seconds']:.2f}s for an intended ~0.1s"
+        )
+        # At least two probes fired and the backlog is visible: probe k is
+        # measured from its intended send time, so with a 5 ms schedule
+        # against 50 ms responses the p95 exceeds a single response time.
+        assert report["queries_total"] >= 2
+        assert report["query_p95_ms"] > QUERY_DELAY * 1000 * 1.2, (
+            f"p95 {report['query_p95_ms']:.1f}ms hides the query backlog "
+            f"(single response {QUERY_DELAY * 1000:.0f}ms)"
+        )
+
+    def test_unpaced_run_still_reports_and_matches_counts(self):
+        """Flat-out mode keeps working with the probe task running."""
+
+        async def run():
+            service = ClusterService()
+            ready, stop = asyncio.Event(), asyncio.Event()
+            task = asyncio.create_task(
+                run_server(service, "127.0.0.1", 0, ready=ready, stop=stop)
+            )
+            await ready.wait()
+            try:
+                return await run_loadgen(
+                    "127.0.0.1",
+                    service.port,
+                    tenants=2,
+                    points_per_tenant=120,
+                    dataset="maze",
+                    config=CONFIG,
+                    rate=0.0,
+                    batch=30,
+                    query_every=1,
+                    flush_tail=True,
+                    seed=9,
+                )
+            finally:
+                stop.set()
+                await task
+
+        report = asyncio.run(run())
+        assert report["accepted_total"] == 240
+        assert report["shed_total"] == 0 and report["rejected_total"] == 0
+        for detail in report["tenants_detail"]:
+            assert detail["ingested"] == 120
+        # Probe latencies are non-negative even when measured against the
+        # intended schedule (a probe is never sent before its slot).
+        assert report["query_p50_ms"] >= 0.0

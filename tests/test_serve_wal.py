@@ -371,6 +371,45 @@ class TestSupervision:
 
         asyncio.run(run())
 
+    def test_restart_budget_decays_after_healthy_interval(self, tmp_path):
+        """A tenant that crashes rarely must keep healing forever.
+
+        Regression: ``_watch`` incremented ``_restart_counts`` on every
+        restart and never reset it, so the budget was a *lifetime* cap — a
+        tenant crashing once a day tripped a ``restart_budget=2`` breaker
+        on its third crash ever, despite every restart having succeeded.
+        The budget now covers one unhealthy window: a replacement that
+        stays healthy for ``restart_reset_s`` earns the full budget back.
+        Pre-fix, the third widely-spaced crash below goes circuit-open and
+        this test fails."""
+        points = clustered_stream(31, 60)
+        config = make_config()
+
+        async def run():
+            service = ClusterService(
+                data_dir=tmp_path,
+                restart_budget=2,
+                restart_backoff_s=0.005,
+                restart_reset_s=0.05,
+            )
+            session = service.open("t", config)
+            for crash in range(4):
+                self.crash_writer(session)
+                await session.offer(points[crash : crash + 1])
+                await asyncio.sleep(0.01)
+                session = await self.wait_restarted(service, "t", session)
+                # Outlive restart_reset_s: the budget window closes.
+                await asyncio.sleep(0.15)
+            assert service.degraded == {}
+            session.require_healthy()
+            # The decay resets the breaker, not the books: lifetime restart
+            # counts keep accumulating in STATS.
+            assert service.stats()["tenant_restarts"] == 4
+            assert session.restarts == 4
+            await service.shutdown()
+
+        asyncio.run(run())
+
     def test_wal_less_tenant_still_restarts_from_checkpoint(self, tmp_path):
         """Supervision works without a WAL too — the restart recovers the
         checkpointed prefix (weaker: un-checkpointed acks are lost)."""
@@ -393,6 +432,114 @@ class TestSupervision:
             await service.shutdown()
 
         asyncio.run(run())
+
+
+class TestShedCrashConsistency:
+    """Shed-oldest vs. the WAL: shed points must never be resurrected.
+
+    ``offer`` journals-then-enqueues, and shed-oldest drops *queued* items
+    — items that were already journaled and acknowledged. A post-crash WAL
+    replay would re-feed them, making the restarted tenant process points
+    the pre-crash pipeline never saw (label divergence from a never-crashed
+    run). The combination is therefore rejected outright — at the config
+    level (``SessionConfig``) *and* at the session level for directly
+    injected WAL objects, which bypass the config flag — and the
+    kill-after-shed drill proves checkpoint-only recovery stays consistent.
+    """
+
+    def test_wal_object_requires_block_policy_at_session_level(self, tmp_path):
+        """Regression (fail-pre-fix): ``TenantSession`` accepted a ``wal``
+        object alongside a shed-oldest config because the config-level
+        check only guards the ``config.wal`` *flag*, not the injected
+        object — exactly the resurrection hole described above."""
+        config = make_config(wal=False, backpressure="shed-oldest")
+        wal = make_wal(tmp_path, config)
+
+        async def run():
+            with pytest.raises(ConfigurationError, match="block"):
+                TenantSession(
+                    "t", config, store=str(tmp_path / "ckpt"), wal=wal
+                )
+
+        try:
+            asyncio.run(run())
+        finally:
+            wal.close()
+
+    @pytest.mark.chaos
+    def test_kill_after_shed_recovers_consistent_labels(self, tmp_path):
+        """Kill -9 a shed-oldest tenant *after* it shed points, resume from
+        checkpoint, and prove the post-restart labels are byte-identical to
+        an offline run over the post-admission sequence — i.e. nothing shed
+        ever reappears in the pipeline."""
+        points = clustered_stream(32, 150)
+        # queue_limit is a stride multiple so the post-admission sequence
+        # stays stride-aligned — cluster_stream flushes a partial tail at
+        # end-of-stream, the drained session (flush_tail=False) does not.
+        config = make_config(
+            wal=False,
+            backpressure="shed-oldest",
+            queue_limit=20,
+            checkpoint_every=1,
+        )
+
+        async def life1():
+            session = TenantSession(
+                "t", config, store=str(tmp_path / "ckpt"), journal=[]
+            )
+            session.start()
+            # Flood the queue in one offer: shed-oldest admits without
+            # yielding, so the writer sees none of it until we sleep.
+            result = await session.offer(points[:120])
+            assert result["shed"] > 0, "the drill needs actual sheds"
+            while session._queue.qsize():
+                await asyncio.sleep(0.005)
+            await asyncio.sleep(0.02)  # trailing feed + checkpoint land
+            fed = list(session.journal)
+            # kill -9: cancel the writer mid-flight, zero cleanup.
+            session._writer.cancel()
+            try:
+                await session._writer
+            except asyncio.CancelledError:
+                pass
+            return fed, result["shed"]
+
+        async def life2():
+            session = TenantSession(
+                "t", config, store=str(tmp_path / "ckpt"), journal=[]
+            )
+            views = []
+            original = session._publish
+
+            def capture():
+                original()
+                views.append(session.view)
+
+            session._publish = capture
+            # Supervised-restart semantics: the producer keeps sending only
+            # new points, nothing is re-sent or swallowed.
+            offset = session.start(resume="auto", swallow_prefix=False)
+            await session.offer(points[120:])
+            await session.drain(flush_tail=False)
+            fed = list(session.journal)
+            await session.close()
+            return offset, fed, views
+
+        fed1, shed = asyncio.run(life1())
+        offset, fed2, views = asyncio.run(life2())
+        assert shed > 0 and len(fed1) < 120  # sheds really thinned the feed
+        assert 0 < offset <= len(fed1)  # checkpoint covers a fed prefix only
+        # What the resumed pipeline is accountable for: the checkpointed
+        # prefix of the post-admission sequence plus the new points.
+        combined = fed1[:offset] + fed2
+        history = offline_history(combined, config)
+        for view in views:
+            if view.stride >= 0:
+                assert dict(view.clustering.labels) == history[view.stride], (
+                    f"stride {view.stride}: resumed labels diverged — a shed "
+                    "point was resurrected or the checkpoint lied"
+                )
+        assert views[-1].stride == len(history) - 1
 
 
 class TestWalObservability:
