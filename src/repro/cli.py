@@ -11,6 +11,8 @@ Commands:
   protocol (see docs/serving.md).
 - ``loadgen`` — drive a serve endpoint with N concurrent tenants and report
   ingest throughput and query-latency percentiles.
+- ``tail`` — follow a tenant's evolution journal over ``SUBSCRIBE``,
+  printing one CDC record per line.
 
 ``cluster`` can run resiliently: ``--checkpoint-dir`` turns on durable
 checkpoints every ``--checkpoint-every`` strides, ``--resume`` continues a
@@ -296,6 +298,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="WAL segment rotation threshold in bytes",
     )
     loadgen.add_argument(
+        "--journal",
+        action="store_true",
+        help="record every stride's evolution events + membership delta to "
+        "a per-tenant CDC journal (needs a server with --data-dir; feeds "
+        "SUBSCRIBE/EVENTS and AS_OF time travel)",
+    )
+    loadgen.add_argument(
+        "--journal-fsync",
+        choices=("always", "every_n", "interval"),
+        default="always",
+        help="journal fsync policy ('always' makes a stride's events "
+        "durable before subscribers see them)",
+    )
+    loadgen.add_argument(
+        "--journal-retention",
+        type=int,
+        default=0,
+        help="strides of CDC history to retain (0 = unbounded)",
+    )
+    loadgen.add_argument(
+        "--archive-every",
+        type=int,
+        default=0,
+        help="strides between full AS_OF snapshots (0 = delta-replay only; "
+        "needs --journal)",
+    )
+    loadgen.add_argument(
+        "--subscribers",
+        type=int,
+        default=0,
+        help="push subscribers per tenant, each on its own connection "
+        "(needs --journal)",
+    )
+    loadgen.add_argument(
         "--rate",
         type=float,
         default=0.0,
@@ -315,6 +351,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadgen.add_argument("--seed", type=int, default=0)
     loadgen.add_argument("--json", help="also write the full report as JSON here")
+
+    tail = commands.add_parser(
+        "tail",
+        help="follow a tenant's evolution journal over SUBSCRIBE, printing "
+        "one CDC record per line (jq-friendly)",
+    )
+    tail.add_argument("session", help="tenant session name")
+    tail.add_argument("--host", default="127.0.0.1")
+    tail.add_argument("--port", type=int, default=7171)
+    tail.add_argument(
+        "--cursor",
+        type=int,
+        default=0,
+        help="stride to start from (clamped to the journal's retention floor)",
+    )
+    tail.add_argument(
+        "--policy",
+        choices=("block", "disconnect"),
+        default="block",
+        help="slow-consumer policy: stall the pipeline, or get cut off "
+        "with a resume cursor",
+    )
+    tail.add_argument(
+        "--max",
+        type=int,
+        default=0,
+        help="stop after N records (0 = follow until the stream ends)",
+    )
     return parser
 
 
@@ -579,6 +643,57 @@ def cmd_loadgen(args) -> int:
     return loadgen_main(args)
 
 
+def cmd_tail(args) -> int:
+    """Follow a tenant's CDC journal: records to stdout, status to stderr."""
+    import asyncio
+    import json
+
+    from repro.serve.client import ServeClient
+
+    async def _tail() -> int:
+        client = await ServeClient.connect(args.host, args.port)
+        try:
+            reply = await client.subscribe(
+                args.session, cursor=args.cursor, policy=args.policy
+            )
+            print(
+                f"tail: subscribed to {args.session!r} at cursor "
+                f"{reply['cursor']} (head {reply['head']})",
+                file=sys.stderr,
+            )
+            seen = 0
+            async for frame in client.pushes():
+                if frame.get("push") == "event":
+                    print(
+                        json.dumps(
+                            frame["record"],
+                            separators=(",", ":"),
+                            sort_keys=True,
+                        ),
+                        flush=True,
+                    )
+                    seen += 1
+                    if args.max and seen >= args.max:
+                        return 0
+                else:
+                    print(
+                        f"tail: stream ended ({frame.get('reason')}), "
+                        f"resume cursor {frame.get('cursor')}",
+                        file=sys.stderr,
+                    )
+            return 0
+        finally:
+            await client.close()
+
+    try:
+        return asyncio.run(_tail())
+    except KeyboardInterrupt:  # pragma: no cover - interactive use
+        return 0
+    except (ReproError, OSError) as exc:
+        print(f"tail error: {exc}", file=sys.stderr)
+        return 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -588,6 +703,7 @@ def main(argv: list[str] | None = None) -> int:
         "compare": cmd_compare,
         "serve": cmd_serve,
         "loadgen": cmd_loadgen,
+        "tail": cmd_tail,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,34 @@
+"""Shared size ceilings for every framed byte stream in the repo.
+
+Two layers frame records with a 4-byte length prefix — the serve protocol
+(JSON lines over TCP) and the segmented logs (WAL + evolution journal).
+Each used to carry its own magic number; they live here so the invariant
+between them is stated once and testable:
+
+- :data:`MAX_FRAME_BYTES` is the *transport* ceiling: no single serve
+  protocol frame (request, response, or server push) may exceed it.
+- :data:`MAX_RECORD_BYTES` is the *storage* ceiling: a segmented-log
+  length prefix above it is treated as corruption by the recovery scan,
+  never as a record.
+- :data:`MAX_JOURNAL_RECORD_BYTES` caps evolution-journal records below
+  the transport ceiling (minus push-envelope headroom), because every
+  journal record must be deliverable verbatim inside one ``SUBSCRIBE``
+  push frame.
+"""
+
+from __future__ import annotations
+
+#: Hard per-frame ceiling of the serve protocol (requests and pushes).
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+#: Hard per-record ceiling of segmented logs — a length prefix above this
+#: is corruption, not a record.
+MAX_RECORD_BYTES = 16 * 1024 * 1024
+
+#: Headroom reserved for the ``{"push": "event", ...}`` envelope wrapped
+#: around a journal record when it is streamed to a subscriber.
+PUSH_ENVELOPE_BYTES = 1024
+
+#: Per-record ceiling of the evolution journal: strictly below the
+#: transport ceiling so any journaled record fits in one push frame.
+MAX_JOURNAL_RECORD_BYTES = MAX_FRAME_BYTES - PUSH_ENVELOPE_BYTES

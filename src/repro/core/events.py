@@ -10,6 +10,7 @@ diffing snapshots.
 from __future__ import annotations
 
 import enum
+from collections import Counter
 from dataclasses import dataclass, field
 
 
@@ -43,6 +44,66 @@ class EvolutionEvent:
     trigger: int | None = None
 
 
+class EventList(list):
+    """An event list that keeps per-kind tallies current as it mutates.
+
+    ``StrideSummary.count(kind)`` used to rescan the whole list per call —
+    O(n · kinds) in the monitoring hot path, where every stride's counts
+    are read once per kind. The common mutations (``append``/``extend``,
+    which is all the clusterers use) update the tally in O(1); the rare
+    destructive ones rebuild it.
+    """
+
+    __slots__ = ("kind_counts",)
+
+    def __init__(self, iterable=()):
+        super().__init__(iterable)
+        self.kind_counts = Counter(event.kind for event in self)
+
+    def _recount(self) -> None:
+        self.kind_counts = Counter(event.kind for event in self)
+
+    def append(self, event) -> None:
+        super().append(event)
+        self.kind_counts[event.kind] += 1
+
+    def extend(self, events) -> None:
+        for event in events:
+            self.append(event)
+
+    def __iadd__(self, events):
+        self.extend(events)
+        return self
+
+    def insert(self, index, event) -> None:
+        super().insert(index, event)
+        self.kind_counts[event.kind] += 1
+
+    def remove(self, event) -> None:
+        super().remove(event)
+        self.kind_counts[event.kind] -= 1
+
+    def pop(self, index=-1):
+        event = super().pop(index)
+        self.kind_counts[event.kind] -= 1
+        return event
+
+    def clear(self) -> None:
+        super().clear()
+        self.kind_counts = Counter()
+
+    def __setitem__(self, index, value) -> None:
+        super().__setitem__(index, value)
+        self._recount()
+
+    def __delitem__(self, index) -> None:
+        super().__delitem__(index)
+        self._recount()
+
+    def copy(self) -> "EventList":
+        return EventList(self)
+
+
 @dataclass
 class StrideSummary:
     """What one window advance did, as reported by a stream clusterer.
@@ -51,12 +112,19 @@ class StrideSummary:
     what applies to them and leave the rest at defaults.
     """
 
-    events: list[EvolutionEvent] = field(default_factory=list)
+    events: list[EvolutionEvent] = field(default_factory=EventList)
     num_ex_cores: int = 0
     num_neo_cores: int = 0
     num_inserted: int = 0
     num_deleted: int = 0
 
+    def __post_init__(self) -> None:
+        if not isinstance(self.events, EventList):
+            self.events = EventList(self.events)
+
     def count(self, kind: EvolutionKind) -> int:
         """Number of events of one kind in this stride."""
-        return sum(1 for event in self.events if event.kind is kind)
+        counts = getattr(self.events, "kind_counts", None)
+        if counts is None:  # events was reassigned to a plain list
+            return sum(1 for event in self.events if event.kind is kind)
+        return counts[kind]

@@ -15,6 +15,7 @@ import os
 from repro.core.store import COUNTER_FIELDS as STORE_FIELDS
 from repro.index.stats import FIELDS as INDEX_FIELDS
 from repro.observability.trace import COUNTERS, PHASES
+from repro.query.journal import JOURNAL_FIELDS
 from repro.runtime.wal import WAL_FIELDS
 
 TRACE_SCHEMA = {
@@ -77,6 +78,17 @@ TRACE_SCHEMA = {
             "additionalProperties": False,
             "properties": {
                 name: {"type": "integer", "minimum": 0} for name in WAL_FIELDS
+            },
+        },
+        # Optional: evolution-journal (CDC) counters, same convention as
+        # ``wal`` — only journal-enabled served sessions carry it.
+        "journal": {
+            "type": "object",
+            "required": list(JOURNAL_FIELDS),
+            "additionalProperties": False,
+            "properties": {
+                name: {"type": "integer", "minimum": 0}
+                for name in JOURNAL_FIELDS
             },
         },
     },
@@ -160,6 +172,8 @@ def validate_trace_record(record: dict, where: str = "record") -> None:
                 _fail(where, f"'store.{name}' must be a non-negative integer")
     if "wal" in record:
         _check_closed_ints(record, "wal", WAL_FIELDS, where)
+    if "journal" in record:
+        _check_closed_ints(record, "journal", JOURNAL_FIELDS, where)
     events = record["events"]
     if not isinstance(events, dict):
         _fail(where, "'events' must be an object")

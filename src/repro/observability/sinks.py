@@ -161,6 +161,16 @@ class PrometheusTextfileExporter:
             ]
             for name, value in agg.wal.items():
                 lines.append(self._line("disc_wal_total", value, f'stat="{name}"'))
+        if agg.journal is not None:
+            lines += [
+                "# HELP disc_journal_total Evolution-journal (CDC) counters "
+                "(cumulative).",
+                "# TYPE disc_journal_total counter",
+            ]
+            for name, value in agg.journal.items():
+                lines.append(
+                    self._line("disc_journal_total", value, f'stat="{name}"')
+                )
         if agg.events:
             lines += [
                 "# HELP disc_events_total Cluster evolution events.",

@@ -58,6 +58,7 @@ class StrideTrace:
         "index",
         "store",
         "wal",
+        "journal",
         "events",
         *COUNTERS,
     )
@@ -73,6 +74,8 @@ class StrideTrace:
         # Write-ahead-log counters at end of stride (WAL-enabled served
         # sessions only; batch runs leave this None and the key off).
         self.wal: dict | None = None
+        # Evolution-journal (CDC) counters, same convention as ``wal``.
+        self.journal: dict | None = None
         self.events: dict[str, int] = {}
         for name in COUNTERS:
             setattr(self, name, 0)
@@ -92,6 +95,8 @@ class StrideTrace:
             record["store"] = dict(self.store)
         if self.wal is not None:
             record["wal"] = dict(self.wal)
+        if self.journal is not None:
+            record["journal"] = dict(self.journal)
         return record
 
     def __repr__(self) -> str:
@@ -120,6 +125,7 @@ class TraceAggregate:
         self.index = IndexStats()
         self.store: dict | None = None  # latest PointStore gauges seen
         self.wal: dict | None = None  # latest WAL counters seen (cumulative)
+        self.journal: dict | None = None  # latest CDC-journal counters seen
         self.events: dict[str, int] = {}
 
     def add(self, trace: StrideTrace) -> None:
@@ -129,6 +135,8 @@ class TraceAggregate:
             self.store = dict(trace.store)
         if trace.wal is not None:
             self.wal = dict(trace.wal)
+        if trace.journal is not None:
+            self.journal = dict(trace.journal)
         for name in PHASES:
             self.phases[name] += trace.phases[name]
         for name in COUNTERS:
@@ -164,6 +172,8 @@ class TraceAggregate:
             out["store"] = dict(self.store)
         if self.wal is not None:
             out["wal"] = dict(self.wal)
+        if self.journal is not None:
+            out["journal"] = dict(self.journal)
         return out
 
     def report(self) -> str:
@@ -218,6 +228,14 @@ class TraceAggregate:
                 f"{w['truncated_tail']} torn tails cut, "
                 f"{w['tenant_restarts']} restarts"
             )
+        if self.journal is not None:
+            j = self.journal
+            lines.append(
+                f"journal: {j['appends']} records, {j['fsyncs']} fsyncs, "
+                f"{j['bytes']} bytes, {j['reads']} reads, "
+                f"{j['truncated_tail']} torn tails cut, "
+                f"{j['compacted_segments']} segments compacted"
+            )
         if self.events:
             lines.append(
                 "events: "
@@ -242,6 +260,8 @@ class Tracer:
         # When a served session attaches its WriteAheadLog here, every
         # emitted stride record is stamped with the log's counters.
         self.wal_source = None
+        # Same for its EvolutionJournal (CDC) counters.
+        self.journal_source = None
         self._next_stride = 0
 
     def begin(self) -> StrideTrace:
@@ -254,6 +274,8 @@ class Tracer:
         """Seal a stride record: fold into the aggregate, fan out to sinks."""
         if self.wal_source is not None:
             trace.wal = self.wal_source.stats.as_dict()
+        if self.journal_source is not None:
+            trace.journal = self.journal_source.stats.as_dict()
         self.aggregate.add(trace)
         for sink in self.sinks:
             sink.emit(trace)

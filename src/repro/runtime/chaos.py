@@ -50,6 +50,15 @@ class RuntimeHooks:
     def after_stride(self, stride: int, summary) -> None:
         """Called after stride ``stride`` completed (pre-checkpoint)."""
 
+    def before_checkpoint(self, stride: int) -> None:
+        """Called just before a checkpoint for ``stride`` is written.
+
+        The serving layer syncs the evolution journal here so a durable
+        checkpoint can never get ahead of the CDC history it implies —
+        after any crash the journal holds every stride the checkpoint
+        covers, and WAL-tail replay re-derives the rest.
+        """
+
     def after_checkpoint(self, stride: int, path) -> None:
         """Called after a checkpoint for ``stride`` was durably written."""
 

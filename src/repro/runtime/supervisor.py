@@ -309,6 +309,7 @@ class Supervisor:
             "guard": self.guard.export_state(),
             "stats": self.stats.as_dict(),
         }
+        self.hooks.before_checkpoint(self.stride)
         path = self.store.save(self.stride, payload)
         self.stats.checkpoints_written += 1
         self.hooks.after_checkpoint(self.stride, path)

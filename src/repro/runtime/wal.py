@@ -1,10 +1,17 @@
-"""Segmented, CRC-framed write-ahead log for exactly-once stream ingest.
+"""Segmented, CRC-framed append-only logs; the ingest write-ahead log.
 
-A :class:`WriteAheadLog` owns one directory of segment files and journals
-*raw admitted stream items* — :class:`~repro.common.points.StreamPoint` and
-:class:`~repro.datasets.io.MalformedRecord` alike — before they are fed to
-the clustering pipeline. Together with the checkpoint store it closes the
-serving layer's durability hole: a checkpoint covers the stream up to its
+Two durable logs share one storage engine. :class:`SegmentedLog` is the
+engine: segmented, length-prefixed, CRC32-framed files with contiguous
+sequence numbers, fsync-policy commits, clean-prefix torn-tail recovery,
+and checkpoint-keyed compaction. :class:`WriteAheadLog` specialises it for
+*raw admitted stream items* — :class:`~repro.common.points.StreamPoint`
+and :class:`~repro.datasets.io.MalformedRecord` alike — journaled before
+they are fed to the clustering pipeline;
+:class:`repro.query.journal.EvolutionJournal` specialises it for the CDC
+stream of per-stride evolution records.
+
+Together with the checkpoint store the WAL closes the serving layer's
+durability hole: a checkpoint covers the stream up to its
 ``stream_offset``, and the WAL covers the acknowledged tail past it, so a
 ``kill -9`` at any instant loses nothing that was acknowledged.
 
@@ -14,23 +21,24 @@ Record framing (binary, append-only)::
     | length (4B LE) | crc32 (4B LE)  | body (length bytes)  |
     +----------------+----------------+----------------------+
 
-The body is compact JSON carrying the record's **admission sequence
-number** and the item payload. Sequence numbers are assigned by the log,
-start at 0 for a fresh stream, and are strictly contiguous — which is what
-lets a recovery scan detect any corruption (torn tail, truncation inside a
+The body carries the record's **sequence number** and payload (the codec
+is the subclass's). Sequence numbers are assigned by the log, start at 0
+for a fresh stream, and are strictly contiguous — which is what lets a
+recovery scan detect any corruption (torn tail, truncation inside a
 record, bit rot) and truncate back to the longest clean prefix.
 
 Durability is governed by the fsync policy:
 
-- ``always`` — fsync at every :meth:`commit` (the ACK boundary): an
-  acknowledged item is durable before the acknowledgement leaves;
+- ``always`` — fsync at every :meth:`SegmentedLog.commit` (the ACK
+  boundary): an acknowledged record is durable before the
+  acknowledgement leaves;
 - ``every_n`` — fsync once per N appended records;
 - ``interval`` — fsync when at least ``fsync_interval_s`` elapsed since
   the previous one.
 
 Segments rotate at ``segment_bytes``; each file is named by the sequence
-number of its first record (``wal-<seq:012d>.seg``), so
-:meth:`WriteAheadLog.compact` can garbage-collect every segment whose whole
+number of its first record (``<prefix>-<seq:012d>.seg``), so
+:meth:`SegmentedLog.compact` can garbage-collect every segment whose whole
 range is covered by a durable checkpoint without reading it.
 """
 
@@ -41,10 +49,11 @@ import os
 import struct
 import time
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.common.errors import ReproError
+from repro.common.limits import MAX_RECORD_BYTES  # noqa: F401  (re-export)
 from repro.common.points import StreamPoint
 from repro.datasets.io import MalformedRecord
 
@@ -63,15 +72,9 @@ WAL_FIELDS = (
 
 _HEADER = struct.Struct("<II")  # (body length, crc32 of body)
 
-#: Hard per-record ceiling — a length prefix above this is corruption, not
-#: a record (the serve protocol caps frames at 8 MiB already).
-MAX_RECORD_BYTES = 16 * 1024 * 1024
-
-_SEGMENT_NAME = "wal-{seq:012d}.seg"
-
 
 class WalError(ReproError):
-    """The write-ahead log could not append, scan, or replay."""
+    """A segmented log could not append, scan, or replay."""
 
 
 @dataclass
@@ -153,7 +156,12 @@ class _Segment:
         return self.last_seq < self.first_seq
 
 
-def _scan_segment(path: Path, expect_seq: int) -> tuple[list[tuple[int, int]], int]:
+def _scan_segment(
+    path: Path,
+    expect_seq: int,
+    decode=decode_item,
+    max_record_bytes: int = MAX_RECORD_BYTES,
+) -> tuple[list[tuple[int, int]], int]:
     """Validate one segment file front to back.
 
     Returns ``(records, good_bytes)`` where ``records`` is a list of
@@ -170,7 +178,7 @@ def _scan_segment(path: Path, expect_seq: int) -> tuple[list[tuple[int, int]], i
         if offset + _HEADER.size > len(data):
             break  # torn header (or clean EOF)
         length, crc = _HEADER.unpack_from(data, offset)
-        if length > MAX_RECORD_BYTES:
+        if length > max_record_bytes:
             break  # corrupted length prefix
         body_start = offset + _HEADER.size
         if body_start + length > len(data):
@@ -179,7 +187,7 @@ def _scan_segment(path: Path, expect_seq: int) -> tuple[list[tuple[int, int]], i
         if zlib.crc32(body) != crc:
             break  # bit rot / mid-record overwrite
         try:
-            rec_seq, _ = decode_item(body)
+            rec_seq, _ = decode(body)
         except WalError:
             break  # valid CRC over garbage should be impossible; be safe
         if rec_seq != seq:
@@ -190,14 +198,18 @@ def _scan_segment(path: Path, expect_seq: int) -> tuple[list[tuple[int, int]], i
     return records, offset
 
 
-class WriteAheadLog:
-    """Append-only, segmented, torn-write-safe journal of admitted items.
+class SegmentedLog:
+    """Append-only, segmented, torn-write-safe journal of framed records.
 
     Opening a log performs the recovery scan: every segment is validated
     front to back, the first invalid byte truncates its segment, and any
     later segments (whose records would leave a hole) are deleted — the log
     always reopens to the longest clean, contiguous prefix of what was ever
     acknowledged.
+
+    Subclasses provide the record codec (:meth:`_encode_body` /
+    :meth:`_decode_body`), the segment file ``prefix``, and the per-record
+    size ceiling ``max_record_bytes``.
 
     Args:
         directory: segment directory; created when missing.
@@ -211,6 +223,9 @@ class WriteAheadLog:
             before every physical append; raising ``OSError`` simulates a
             full disk (see :class:`repro.runtime.chaos.DiskFull`).
     """
+
+    prefix = "log"
+    max_record_bytes = MAX_RECORD_BYTES
 
     def __init__(
         self,
@@ -247,11 +262,22 @@ class WriteAheadLog:
         self.next_seq = 0
         self._recover()
 
+    # ------------------------------------------------------------- codec
+
+    def _encode_body(self, seq: int, item) -> bytes:
+        """Record body for ``item`` at sequence number ``seq``."""
+        raise NotImplementedError
+
+    def _decode_body(self, body: bytes):
+        """Inverse of :meth:`_encode_body` → ``(seq, item)``; raise
+        :class:`WalError` on garbage."""
+        raise NotImplementedError
+
     # ------------------------------------------------------------- recovery
 
     def _recover(self) -> None:
         """Scan all segments, truncate the torn tail, set ``next_seq``."""
-        paths = sorted(self.directory.glob("wal-*.seg"))
+        paths = sorted(self.directory.glob(f"{self.prefix}-*.seg"))
         segments: list[_Segment] = []
         truncated = False
         for path in paths:
@@ -270,7 +296,9 @@ class WriteAheadLog:
                 truncated = True
                 path.unlink()
                 continue
-            records, good_bytes = _scan_segment(path, first_seq)
+            records, good_bytes = _scan_segment(
+                path, first_seq, self._decode_body, self.max_record_bytes
+            )
             size = path.stat().st_size
             if good_bytes < size:
                 with open(path, "r+b") as handle:
@@ -303,8 +331,16 @@ class WriteAheadLog:
         """Sequence number of the newest durable-framed record (-1: none)."""
         return self.next_seq - 1
 
-    def append(self, item: StreamPoint | MalformedRecord) -> int:
-        """Frame and write one item; return its admission sequence number.
+    @property
+    def floor_seq(self) -> int:
+        """Oldest sequence number still retained (== ``next_seq`` if empty)."""
+        for segment in self._segments:
+            if not segment.empty:
+                return segment.first_seq
+        return self.next_seq
+
+    def append(self, item) -> int:
+        """Frame and write one item; return its sequence number.
 
         The write lands in the OS page cache; durability follows at the
         next :meth:`commit` according to the fsync policy. On a physical
@@ -313,9 +349,15 @@ class WriteAheadLog:
         item was *not* journaled and must not be acknowledged.
         """
         if self._broken is not None:
-            raise WalError(f"write-ahead log is broken: {self._broken}")
+            raise WalError(f"{type(self).__name__} is broken: {self._broken}")
         seq = self.next_seq
-        data = frame(encode_item(seq, item))
+        body = self._encode_body(seq, item)
+        if len(body) > self.max_record_bytes:
+            raise WalError(
+                f"record body of {len(body)} bytes exceeds the "
+                f"{self.max_record_bytes}-byte ceiling"
+            )
+        data = frame(body)
         segment = self._active_segment(len(data))
         try:
             if self.fault is not None:
@@ -323,7 +365,7 @@ class WriteAheadLog:
             self._handle.write(data)
         except OSError as exc:
             self._rollback(segment, exc)
-            raise WalError(f"WAL append failed: {exc}") from exc
+            raise WalError(f"append failed: {exc}") from exc
         segment.size += len(data)
         segment.last_seq = seq
         segment.records += 1
@@ -376,7 +418,7 @@ class WriteAheadLog:
             self.sync()
             self._handle.close()
             self._handle = None
-        path = self.directory / _SEGMENT_NAME.format(seq=self.next_seq)
+        path = self.directory / f"{self.prefix}-{self.next_seq:012d}.seg"
         if self._handle is None:
             if not self._segments or self._segments[-1].path != path:
                 self._segments.append(_Segment(path=path, first_seq=self.next_seq))
@@ -403,30 +445,26 @@ class WriteAheadLog:
 
     # ------------------------------------------------------------- reading
 
-    def replay(self, from_seq: int) -> list[StreamPoint | MalformedRecord]:
-        """Items with sequence number >= ``from_seq``, in admission order.
-
-        This is the recovery tail: a resumed pipeline restores its
-        checkpoint (covering ``[0, stream_offset)``) and replays
-        ``replay(stream_offset)`` to reconstruct every acknowledged item
-        past it.
-        """
-        items: list[StreamPoint | MalformedRecord] = []
+    def scan(self, from_seq: int, to_seq: int | None = None):
+        """Yield ``(seq, item)`` for records with ``from_seq <= seq``
+        (``< to_seq`` when given), in sequence order."""
         self.flush()
-        for segment in self._segments:
+        for segment in list(self._segments):
             if segment.empty or segment.last_seq < from_seq:
                 continue
+            if to_seq is not None and segment.first_seq >= to_seq:
+                break
             data = segment.path.read_bytes()[: segment.size]
             offset = 0
             while offset + _HEADER.size <= len(data):
                 length, _ = _HEADER.unpack_from(data, offset)
                 body = data[offset + _HEADER.size : offset + _HEADER.size + length]
-                seq, item = decode_item(body)
+                seq, item = self._decode_body(body)
+                if to_seq is not None and seq >= to_seq:
+                    return
                 if seq >= from_seq:
-                    items.append(item)
+                    yield seq, item
                 offset += _HEADER.size + length
-        self.stats.replayed += len(items)
-        return items
 
     def flush(self) -> None:
         """Flush buffered writes (no fsync) so reads see every append."""
@@ -474,3 +512,37 @@ class WriteAheadLog:
 
     def __len__(self) -> int:
         return sum(s.records for s in self._segments)
+
+
+class WriteAheadLog(SegmentedLog):
+    """The ingest write-ahead log: admitted stream items, pre-pipeline.
+
+    See :class:`SegmentedLog` for the storage engine (recovery, fsync
+    policies, rotation, compaction); this subclass fixes the codec to the
+    ``{"s": seq, "p"|"m": [...]}`` item encoding and adds :meth:`replay`.
+    """
+
+    prefix = "wal"
+    max_record_bytes = MAX_RECORD_BYTES
+
+    def _encode_body(self, seq: int, item) -> bytes:
+        return encode_item(seq, item)
+
+    def _decode_body(self, body: bytes):
+        return decode_item(body)
+
+    def append(self, item: StreamPoint | MalformedRecord) -> int:
+        """Frame and write one item; return its admission sequence number."""
+        return super().append(item)
+
+    def replay(self, from_seq: int) -> list[StreamPoint | MalformedRecord]:
+        """Items with sequence number >= ``from_seq``, in admission order.
+
+        This is the recovery tail: a resumed pipeline restores its
+        checkpoint (covering ``[0, stream_offset)``) and replays
+        ``replay(stream_offset)`` to reconstruct every acknowledged item
+        past it.
+        """
+        items = [item for _, item in self.scan(from_seq)]
+        self.stats.replayed += len(items)
+        return items

@@ -5,6 +5,13 @@ request/response: every method sends a frame and awaits its envelope. By
 default a server-side error envelope raises :class:`ServeClientError`
 (carrying the protocol error code); pass ``check=False`` to
 :meth:`ServeClient.request` to receive the raw envelope instead.
+
+``SUBSCRIBE`` breaks the request/response rhythm: after
+:meth:`ServeClient.subscribe` succeeds, the server interleaves push
+frames on this connection. Consume them with :meth:`ServeClient.pushes`
+(an async iterator that ends on the terminal ``{"push": "end"}`` frame);
+a connection with a live subscription should be dedicated to it — issuing
+further requests would race the demultiplexing.
 """
 
 from __future__ import annotations
@@ -126,6 +133,73 @@ class ServeClient:
 
     async def snapshot(self, name: str) -> dict:
         return await self.request({"op": "SNAPSHOT", "session": name})
+
+    async def query_as_of(
+        self,
+        name: str,
+        *,
+        stride: int | None = None,
+        time: float | None = None,
+        pid: int | None = None,
+    ) -> dict:
+        """Time-travel query: full membership (or one pid) at a past stride."""
+        as_of: dict = {}
+        if stride is not None:
+            as_of["stride"] = stride
+        if time is not None:
+            as_of["time"] = time
+        frame = {"op": "QUERY", "session": name, "as_of": as_of}
+        if pid is not None:
+            frame["pid"] = pid
+        return await self.request(frame)
+
+    async def events(
+        self, name: str, cursor: int = 0, *, limit: int | None = None
+    ) -> dict:
+        """Pull journaled CDC records from ``cursor`` (cursor-paged)."""
+        frame = {"op": "EVENTS", "session": name, "cursor": cursor}
+        if limit is not None:
+            frame["limit"] = limit
+        return await self.request(frame)
+
+    async def subscribe(
+        self,
+        name: str,
+        *,
+        cursor: int = 0,
+        policy: str | None = None,
+        queue_limit: int | None = None,
+    ) -> dict:
+        """Start a push subscription; read frames with :meth:`pushes`."""
+        frame = {"op": "SUBSCRIBE", "session": name, "cursor": cursor}
+        if policy is not None:
+            frame["policy"] = policy
+        if queue_limit is not None:
+            frame["queue_limit"] = queue_limit
+        return await self.request(frame)
+
+    async def pushes(self):
+        """Yield push frames until the terminal ``end`` frame (inclusive).
+
+        The iterator yields every ``{"push": "event", ...}`` frame and
+        finally the ``{"push": "end", ...}`` frame itself, so the caller
+        can read the stop reason and resume cursor.
+        """
+        while True:
+            line = await self._reader.readline()
+            if not line:
+                raise ServeClientError(
+                    "internal", "server closed the connection mid-subscription"
+                )
+            frame = protocol.decode_frame(line)
+            if "push" not in frame:
+                raise ServeClientError(
+                    "internal",
+                    f"expected a push frame on this connection, got {frame!r}",
+                )
+            yield frame
+            if frame["push"] == "end":
+                return
 
     async def stats(self, name: str | None = None) -> dict:
         frame = {"op": "STATS"}

@@ -51,6 +51,19 @@ class SessionConfig:
         wal_fsync_every: records per fsync under ``every_n``.
         wal_fsync_interval_s: seconds between fsyncs under ``interval``.
         wal_segment_bytes: WAL segment rotation threshold.
+        journal: record every stride's evolution events + membership delta
+            to a per-tenant CDC journal (the feed behind ``SUBSCRIBE`` /
+            ``EVENTS``). Works under any backpressure policy — it journals
+            *derived* strides, not admissions.
+        journal_fsync: journal durability policy
+            (:data:`repro.runtime.wal.FSYNC_POLICIES`). Under ``always``
+            a stride's events are durable before its ingest ack leaves.
+        journal_segment_bytes: journal segment rotation threshold.
+        journal_retention: strides of CDC history to retain (``0`` =
+            unbounded). Compaction runs at checkpoint boundaries and never
+            cuts history an archive snapshot still needs for delta replay.
+        archive_every: strides between full membership snapshots for
+            ``AS_OF`` time travel (``0`` disables; requires ``journal``).
     """
 
     eps: float
@@ -68,6 +81,11 @@ class SessionConfig:
     wal_fsync_every: int = 64
     wal_fsync_interval_s: float = 0.05
     wal_segment_bytes: int = 4 * 1024 * 1024
+    journal: bool = False
+    journal_fsync: str = "always"
+    journal_segment_bytes: int = 1 * 1024 * 1024
+    journal_retention: int = 0
+    archive_every: int = 0
 
     def __post_init__(self) -> None:
         if self.backpressure not in BACKPRESSURE_POLICIES:
@@ -108,6 +126,29 @@ class SessionConfig:
                 f"acknowledged, so a journal under {self.backpressure!r} "
                 "could not guarantee ACK => durable (see docs/serving.md)"
             )
+        if self.journal_fsync not in FSYNC_POLICIES:
+            raise ConfigurationError(
+                f"unknown journal fsync policy {self.journal_fsync!r}; "
+                f"expected one of {FSYNC_POLICIES}"
+            )
+        if self.journal_segment_bytes < 1:
+            raise ConfigurationError(
+                "journal_segment_bytes must be >= 1, "
+                f"got {self.journal_segment_bytes}"
+            )
+        if self.journal_retention < 0:
+            raise ConfigurationError(
+                f"journal_retention must be >= 0, got {self.journal_retention}"
+            )
+        if self.archive_every < 0:
+            raise ConfigurationError(
+                f"archive_every must be >= 0, got {self.archive_every}"
+            )
+        if self.archive_every > 0 and not self.journal:
+            raise ConfigurationError(
+                "archive_every requires the evolution journal: AS_OF "
+                "answers replay journal deltas between snapshots"
+            )
 
     def as_dict(self) -> dict:
         """JSON-friendly form (session metadata / ``OPEN`` payload)."""
@@ -137,6 +178,13 @@ class SessionConfig:
                 wal_segment_bytes=int(
                     payload.get("wal_segment_bytes", 4 * 1024 * 1024)
                 ),
+                journal=bool(payload.get("journal", False)),
+                journal_fsync=str(payload.get("journal_fsync", "always")),
+                journal_segment_bytes=int(
+                    payload.get("journal_segment_bytes", 1 * 1024 * 1024)
+                ),
+                journal_retention=int(payload.get("journal_retention", 0)),
+                archive_every=int(payload.get("archive_every", 0)),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ConfigurationError(f"malformed session config: {exc}") from exc

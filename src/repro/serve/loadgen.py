@@ -103,6 +103,32 @@ async def _probe_tenant(
         await client.close()
 
 
+async def _subscribe_tenant(host: str, port: int, name: str) -> dict:
+    """One push subscriber on its own connection (fan-out load).
+
+    Subscribes from cursor 0 and counts event frames until the terminal
+    end frame (the tenant's drain ends every subscription), so the count
+    must equal the tenant's stride count — the report surfaces both.
+    """
+    client = await ServeClient.connect(host, port)
+    events = 0
+    reason = "error"
+    cursor = None
+    try:
+        await client.subscribe(name, cursor=0)
+        async for frame in client.pushes():
+            if frame.get("push") == "event":
+                events += 1
+            else:  # terminal end frame
+                reason = frame.get("reason")
+                cursor = frame.get("cursor")
+    except (ReproError, OSError):
+        pass
+    finally:
+        await client.close()
+    return {"events": events, "reason": reason, "cursor": cursor}
+
+
 async def _run_tenant(
     host: str,
     port: int,
@@ -114,13 +140,22 @@ async def _run_tenant(
     batch: int,
     query_every: int,
     flush_tail: bool,
+    subscribers: int = 0,
 ) -> dict:
     client = await ServeClient.connect(host, port)
     probe_task: asyncio.Task | None = None
+    sub_tasks: list[asyncio.Task] = []
     stop_probes = asyncio.Event()
     query_s: list[float] = []
     try:
         await client.open_session(name, config, resume="auto")
+        sub_tasks = [
+            asyncio.create_task(
+                _subscribe_tenant(host, port, name),
+                name=f"loadgen-subscriber-{name}-{i}",
+            )
+            for i in range(subscribers)
+        ]
         if query_every:
             probe_task = asyncio.create_task(
                 _probe_tenant(
@@ -154,6 +189,9 @@ async def _run_tenant(
             await probe_task
         drain = await client.drain(name, flush_tail=flush_tail)
         stats = await client.stats(name)
+        # Drain ends every subscription with a terminal frame, so the
+        # subscriber tasks finish on their own.
+        sub_reports = await asyncio.gather(*sub_tasks) if sub_tasks else []
         return {
             "tenant": name,
             "points_sent": len(points),
@@ -167,6 +205,7 @@ async def _run_tenant(
             "final_stride": drain["stride"],
             "ingested": drain["ingested"],
             "strides": stats["runtime"]["strides"],
+            "subscriber_events": [r["events"] for r in sub_reports],
         }
     finally:
         stop_probes.set()
@@ -176,6 +215,13 @@ async def _run_tenant(
                 await probe_task
             except asyncio.CancelledError:
                 pass
+        for task in sub_tasks:
+            if not task.done():
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
         await client.close()
 
 
@@ -193,6 +239,7 @@ async def run_loadgen(
     flush_tail: bool = True,
     seed: int = 0,
     session_prefix: str = "tenant",
+    subscribers: int = 0,
 ) -> dict:
     """Drive ``tenants`` concurrent sessions; return the aggregate report.
 
@@ -206,6 +253,9 @@ async def run_loadgen(
             time, on its own connection (``0`` disables queries).
         flush_tail: end each session with end-of-stream semantics so its
             final snapshot matches an offline ``cluster_stream`` run.
+        subscribers: push subscribers per tenant, each on its own
+            connection, measuring CDC fan-out cost (requires
+            ``config.journal``).
     """
     started = time.perf_counter()
     reports = await asyncio.gather(
@@ -220,6 +270,7 @@ async def run_loadgen(
                 batch=batch,
                 query_every=query_every,
                 flush_tail=flush_tail,
+                subscribers=subscribers,
             )
             for i in range(tenants)
         )
@@ -242,6 +293,10 @@ async def run_loadgen(
         "queries_total": len(all_queries),
         "query_p50_ms": percentile(all_queries, 50) * 1000 if all_queries else 0.0,
         "query_p95_ms": percentile(all_queries, 95) * 1000 if all_queries else 0.0,
+        "subscribers_per_tenant": subscribers,
+        "subscriber_events_total": sum(
+            sum(r["subscriber_events"]) for r in reports
+        ),
         "tenants_detail": reports,
     }
     return aggregate
@@ -261,6 +316,11 @@ def render_report(report: dict) -> str:
         f"(p50 {report['query_p50_ms']:.2f} ms, "
         f"p95 {report['query_p95_ms']:.2f} ms)",
     ]
+    if report.get("subscribers_per_tenant"):
+        lines.append(
+            f"subscribers: {report['subscribers_per_tenant']} per tenant, "
+            f"{report['subscriber_events_total']} event frames delivered"
+        )
     for tenant in report["tenants_detail"]:
         lines.append(
             f"  {tenant['tenant']}: {tenant['ingested']} ingested, "
@@ -288,7 +348,19 @@ def main(args) -> int:
         wal=args.wal,
         wal_fsync=args.wal_fsync,
         wal_segment_bytes=args.wal_segment_bytes,
+        journal=getattr(args, "journal", False),
+        journal_fsync=getattr(args, "journal_fsync", "always"),
+        journal_retention=getattr(args, "journal_retention", 0),
+        archive_every=getattr(args, "archive_every", 0),
     )
+    subscribers = getattr(args, "subscribers", 0)
+    if subscribers and not config.journal:
+        print(
+            "loadgen: --subscribers needs --journal (SUBSCRIBE reads the "
+            "evolution journal)",
+            file=sys.stderr,
+        )
+        return 1
     try:
         report = asyncio.run(
             run_loadgen(
@@ -303,6 +375,7 @@ def main(args) -> int:
                 query_every=args.query_every,
                 flush_tail=not args.no_flush_tail,
                 seed=args.seed,
+                subscribers=subscribers,
             )
         )
     except (ConnectionRefusedError, OSError) as exc:

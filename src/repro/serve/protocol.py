@@ -2,9 +2,9 @@
 
 One request frame per line, one response frame per line, in order. A frame
 is a JSON object with an ``op`` (``OPEN`` / ``INGEST`` / ``QUERY`` /
-``SNAPSHOT`` / ``STATS`` / ``DRAIN`` / ``CLOSE``), an optional client
-correlation ``id`` (echoed verbatim), and op-specific fields. Responses are
-either a success envelope::
+``SNAPSHOT`` / ``EVENTS`` / ``SUBSCRIBE`` / ``STATS`` / ``DRAIN`` /
+``CLOSE``), an optional client correlation ``id`` (echoed verbatim), and
+op-specific fields. Responses are either a success envelope::
 
     {"ok": true, "op": "INGEST", "id": 7, ...op-specific fields...}
 
@@ -18,6 +18,16 @@ be parsed is *not* a protocol error: it is forwarded to the session as a
 :class:`~repro.datasets.io.MalformedRecord` so the tenant's configured
 input-fault policy (strict/skip/clamp) decides its fate — the wire format
 stays policy-agnostic, exactly like the file readers.
+
+``SUBSCRIBE`` adds the one exception to strict request/response ordering:
+after its success envelope, the server interleaves *push frames* on the
+same connection. A push frame is distinguished by a ``push`` key instead
+of ``ok`` — ``{"push": "event", "session": ..., "record": {...}}`` for
+each journaled stride, and a terminal
+``{"push": "end", "session": ..., "reason": ..., "cursor": ...}`` when
+the subscription stops (drain, close, slow-consumer disconnect, or
+shard failover). Clients that subscribe on a connection they also issue
+requests on must demultiplex by that key.
 
 The protocol is deployment-agnostic: a sharded server (``--shards N``)
 speaks exactly the same frames. The only visible differences are additive —
@@ -35,11 +45,22 @@ import json
 import math
 
 from repro.common.errors import ReproError
+from repro.common.limits import MAX_FRAME_BYTES  # noqa: F401  (re-export)
 from repro.common.points import StreamPoint
 from repro.datasets.io import MalformedRecord
 
 #: Ops a client may send.
-OPS = ("OPEN", "INGEST", "QUERY", "SNAPSHOT", "STATS", "DRAIN", "CLOSE")
+OPS = (
+    "OPEN",
+    "INGEST",
+    "QUERY",
+    "SNAPSHOT",
+    "EVENTS",
+    "SUBSCRIBE",
+    "STATS",
+    "DRAIN",
+    "CLOSE",
+)
 
 #: Error codes carried by error envelopes.
 ERROR_CODES = (
@@ -55,8 +76,10 @@ ERROR_CODES = (
     "internal",  # unexpected server-side failure
 )
 
-#: Hard per-line ceiling; a frame longer than this is a ``bad-frame``.
-MAX_FRAME_BYTES = 8 * 1024 * 1024
+#: Slow-consumer policies for ``SUBSCRIBE`` (mirrors ingest backpressure):
+#: ``block`` stalls the stride pipeline until the subscriber catches up,
+#: ``disconnect`` ends the subscription with a terminal push frame.
+SUBSCRIBE_POLICIES = ("block", "disconnect")
 
 
 class ProtocolError(ReproError):

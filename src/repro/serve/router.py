@@ -18,11 +18,21 @@ Only two frames are answered by the router itself:
 - frames addressed to a shard whose circuit is open (or whose worker is
   mid-restart) get a ``shard-unavailable`` error envelope instead of a
   hang — co-resident shards keep serving.
+
+``SUBSCRIBE`` is proxied like everything else, but a success envelope
+flips the upstream socket it travelled on into *streaming mode*: a pump
+task copies every worker line verbatim to the client until the worker
+sends the terminal end frame. The connection cache hands later requests
+for that shard a fresh socket, so pushes and responses never interleave
+upstream. If the worker dies mid-subscription the router synthesizes
+``{"push": "end", "reason": "shard-unavailable", "cursor": null}`` —
+the client resumes from its own counted cursor once the shard returns.
 """
 
 from __future__ import annotations
 
 import asyncio
+import json
 import signal
 import sys
 
@@ -69,6 +79,14 @@ class _Upstreams:
             await self._drop(worker.index)
         return None
 
+    def steal(self, index: int):
+        """Detach a shard's cached connection (streaming-mode handoff).
+
+        The caller owns the returned ``(reader, writer)`` pair; the next
+        request for this shard gets a fresh socket.
+        """
+        return self._conns.pop(index, None)
+
     async def _drop(self, index: int) -> None:
         conn = self._conns.pop(index, None)
         if conn is not None:
@@ -81,6 +99,64 @@ class _Upstreams:
     async def close(self) -> None:
         for index in list(self._conns):
             await self._drop(index)
+
+
+async def _write_raw(writer, wlock: asyncio.Lock, line: bytes) -> None:
+    """Write one raw line to the client under the connection write lock."""
+    async with wlock:
+        writer.write(line)
+        await writer.drain()
+
+
+def _frame_ok(raw: bytes) -> bool:
+    try:
+        frame = json.loads(raw)
+    except ValueError:  # pragma: no cover - worker always sends JSON
+        return False
+    return isinstance(frame, dict) and bool(frame.get("ok"))
+
+
+async def _stream_pump(conn, writer, wlock: asyncio.Lock, name: str) -> None:
+    """Copy one streaming upstream verbatim to the client.
+
+    Runs from an ok'd ``SUBSCRIBE`` until the worker's terminal end frame.
+    A worker death mid-subscription becomes a synthesized end frame with
+    ``reason: shard-unavailable`` so the client knows to resubscribe (from
+    its own counted cursor) once the supervisor brings the shard back.
+    """
+    upstream_reader, upstream_writer = conn
+    try:
+        while True:
+            line = await upstream_reader.readline()
+            if not line:
+                await _write_raw(
+                    writer,
+                    wlock,
+                    protocol.encode_frame(
+                        {
+                            "push": "end",
+                            "session": name,
+                            "reason": "shard-unavailable",
+                            "cursor": None,
+                        }
+                    ),
+                )
+                return
+            await _write_raw(writer, wlock, line)
+            try:
+                frame = json.loads(line)
+            except ValueError:  # pragma: no cover - worker always sends JSON
+                continue
+            if isinstance(frame, dict) and frame.get("push") == "end":
+                return
+    except (ConnectionResetError, BrokenPipeError, OSError):
+        pass
+    finally:
+        upstream_writer.close()
+        try:
+            await upstream_writer.wait_closed()
+        except OSError:  # pragma: no cover - close races
+            pass
 
 
 def _shard_unavailable(worker: ShardWorker, rid) -> dict:
@@ -98,21 +174,29 @@ async def handle_proxy_connection(
     reader: asyncio.StreamReader,
     writer: asyncio.StreamWriter,
 ) -> None:
-    """Serve one client connection: route frames, preserve strict ordering."""
+    """Serve one client connection: route frames, preserve strict ordering.
+
+    An ok'd ``SUBSCRIBE`` detaches its upstream socket into a pump task
+    (see :func:`_stream_pump`); push frames from pumps and responses from
+    this loop share the client socket under one write lock.
+    """
     upstreams = _Upstreams(sharded)
+    wlock = asyncio.Lock()
+    pumps: set[asyncio.Task] = set()
     try:
         while True:
             try:
                 line = await reader.readline()
             except (asyncio.LimitOverrunError, ValueError):
-                writer.write(
+                await _write_raw(
+                    writer,
+                    wlock,
                     protocol.encode_frame(
                         protocol.error_response(
                             "bad-frame", "frame exceeds the line limit"
                         )
-                    )
+                    ),
                 )
-                await writer.drain()
                 break
             if not line:
                 break  # client hung up
@@ -150,14 +234,24 @@ async def handle_proxy_connection(
                         if raw is None:
                             response = _shard_unavailable(worker, rid)
                         else:
-                            writer.write(raw)  # verbatim pass-through
-                            await writer.drain()
+                            await _write_raw(writer, wlock, raw)  # verbatim
+                            if op == "SUBSCRIBE" and _frame_ok(raw):
+                                conn = upstreams.steal(worker.index)
+                                if conn is not None:
+                                    task = asyncio.create_task(
+                                        _stream_pump(conn, writer, wlock, name)
+                                    )
+                                    pumps.add(task)
+                                    task.add_done_callback(pumps.discard)
                             continue
-            writer.write(protocol.encode_frame(response))
-            await writer.drain()
+            await _write_raw(writer, wlock, protocol.encode_frame(response))
     except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
         pass
     finally:
+        for task in list(pumps):
+            task.cancel()
+        if pumps:
+            await asyncio.gather(*pumps, return_exceptions=True)
         await upstreams.close()
         writer.close()
         try:

@@ -104,6 +104,35 @@ async def _dispatch_op(
     if op == "QUERY":
         session = service.get(_session_name(frame))
         session.queries += 1
+        if "as_of" in frame:
+            spec = frame["as_of"]
+            if not isinstance(spec, dict) or not (
+                set(spec) <= {"stride", "time"}
+            ):
+                raise ProtocolError(
+                    "bad-request",
+                    "as_of must be an object with 'stride' or 'time'",
+                )
+            try:
+                stride = int(spec["stride"]) if "stride" in spec else None
+                time = float(spec["time"]) if "time" in spec else None
+            except (TypeError, ValueError) as exc:
+                raise ProtocolError("bad-request", f"bad as_of: {exc}") from exc
+            payload = session.as_of(stride=stride, time=time)
+            if "pid" in frame:
+                try:
+                    pid = int(frame["pid"])
+                except (TypeError, ValueError) as exc:
+                    raise ProtocolError("bad-request", f"bad pid: {exc}") from exc
+                key = str(pid)
+                payload = {
+                    "stride": payload["stride"],
+                    "pid": pid,
+                    "present": key in payload["categories"],
+                    "label": payload["labels"].get(key),
+                    "category": payload["categories"].get(key),
+                }
+            return protocol.ok_response(op, rid, session=session.name, **payload)
         view = session.view
         if "pid" in frame:
             try:
@@ -127,6 +156,37 @@ async def _dispatch_op(
         session.queries += 1
         return protocol.ok_response(op, rid, **session.view.snapshot_payload())
 
+    if op == "EVENTS":
+        session = service.get(_session_name(frame))
+        session.queries += 1
+        try:
+            cursor = int(frame.get("cursor", 0))
+            limit = frame.get("limit")
+            limit = None if limit is None else int(limit)
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError("bad-request", f"bad cursor/limit: {exc}") from exc
+        records, head, floor = session.events(cursor, limit=limit)
+        next_cursor = (
+            records[-1]["stride"] + 1 if records else max(cursor, floor)
+        )
+        return protocol.ok_response(
+            op,
+            rid,
+            session=session.name,
+            events=records,
+            next_cursor=next_cursor,
+            head=head,
+            floor=floor,
+        )
+
+    if op == "SUBSCRIBE":
+        # Handled by handle_connection (it owns the writer the pump task
+        # streams to); reaching the plain dispatcher means the transport
+        # cannot stream.
+        raise ProtocolError(
+            "bad-request", "SUBSCRIBE needs a streaming connection"
+        )
+
     if op == "STATS":
         if frame.get("session") is None:
             return protocol.ok_response(op, rid, **service.stats())
@@ -147,12 +207,138 @@ async def _dispatch_op(
     return protocol.ok_response(op, rid, session=name)
 
 
+#: Journal records streamed per read while a pump catches up a backlog.
+_PUMP_CHUNK = 256
+
+
+async def _write_frame(writer, wlock: asyncio.Lock, frame: dict) -> None:
+    """Write one frame under the connection's write lock.
+
+    Responses from the request loop and push frames from pump tasks share
+    one socket; the lock keeps whole frames from interleaving.
+    """
+    async with wlock:
+        writer.write(protocol.encode_frame(frame))
+        await writer.drain()
+
+
+def _prepare_subscription(service, frame: dict):
+    """Validate a ``SUBSCRIBE`` frame and register the subscriber.
+
+    Returns ``(response, (session, sub, cursor, head) | None)``.
+    Registration happens here — synchronously, before the success envelope
+    is written — so no stride closed after the reply can be missed; the
+    pump task is started only *after* the envelope is on the wire, so push
+    frames never precede it.
+    """
+    rid = frame.get("id")
+    try:
+        name = _session_name(frame)
+        session = service.get(name)
+        session.require_healthy()
+        try:
+            cursor = int(frame.get("cursor", 0))
+            queue_limit = int(frame.get("queue_limit", 256))
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(
+                "bad-request", f"bad cursor/queue_limit: {exc}"
+            ) from exc
+        if queue_limit < 1:
+            raise ProtocolError(
+                "bad-request", f"queue_limit must be >= 1, got {queue_limit}"
+            )
+        policy = frame.get("policy", "block")
+        sub, effective, head = session.subscribe(
+            cursor=cursor, policy=policy, queue_limit=queue_limit
+        )
+    except (ProtocolError, ServeError) as exc:
+        return protocol.error_response(exc.code, str(exc), rid), None
+    except ReproError as exc:
+        return protocol.error_response("bad-request", str(exc), rid), None
+    response = protocol.ok_response(
+        "SUBSCRIBE",
+        rid,
+        session=name,
+        cursor=effective,
+        head=head,
+        policy=policy,
+    )
+    if effective > max(cursor, 0):
+        # Retention compaction ate part of the asked range; tell the
+        # client where its stream actually starts.
+        response["truncated"] = True
+    return response, (session, sub, effective, head)
+
+
+async def _subscription_pump(
+    session, sub, cursor: int, head: int, writer, wlock: asyncio.Lock
+) -> None:
+    """Stream one subscription: journal backlog, live queue, terminal frame.
+
+    Records in ``[cursor, head)`` (strides journaled before registration)
+    come from the journal; records from ``head`` on arrive through the
+    subscriber queue the session writer fans out to. The two ranges are
+    disjoint by construction, so the client sees every stride exactly once
+    and in order.
+    """
+    name = session.name
+    try:
+        sub.task = asyncio.current_task()
+        try:
+            while cursor < head and not sub.closed:
+                records = session.evjournal.read(
+                    cursor, head, limit=_PUMP_CHUNK
+                )
+                if not records:
+                    break  # compacted under us; resume at the live queue
+                for record in records:
+                    await _write_frame(
+                        writer,
+                        wlock,
+                        {"push": "event", "session": name, "record": record},
+                    )
+                    cursor = record["stride"] + 1
+        except ReproError as exc:
+            sub.end(f"journal-error: {exc}")
+        while not (sub.closed and sub.queue.empty()):
+            record = await sub.queue.get()
+            if record is None:
+                break
+            await _write_frame(
+                writer,
+                wlock,
+                {"push": "event", "session": name, "record": record},
+            )
+            cursor = record["stride"] + 1
+        await _write_frame(
+            writer,
+            wlock,
+            {
+                "push": "end",
+                "session": name,
+                "reason": sub.reason or "closed",
+                "cursor": cursor,
+            },
+        )
+    except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+        pass
+    finally:
+        session.unsubscribe(sub)
+
+
 async def handle_connection(
     service: ClusterService,
     reader: asyncio.StreamReader,
     writer: asyncio.StreamWriter,
 ) -> None:
-    """Serve one client connection: request/response, in order."""
+    """Serve one client connection: request/response, in order.
+
+    ``SUBSCRIBE`` frames additionally spawn a pump task that interleaves
+    push frames with later responses on the same socket (serialized by a
+    per-connection write lock).
+    """
+    wlock = asyncio.Lock()
+    pumps: set[asyncio.Task] = set()
     try:
         while True:
             try:
@@ -160,30 +346,47 @@ async def handle_connection(
             except (asyncio.LimitOverrunError, ValueError):
                 # The stream cannot be resynchronised past an oversized
                 # frame; report and hang up.
-                writer.write(
-                    protocol.encode_frame(
-                        protocol.error_response(
-                            "bad-frame", "frame exceeds the line limit"
-                        )
-                    )
+                await _write_frame(
+                    writer,
+                    wlock,
+                    protocol.error_response(
+                        "bad-frame", "frame exceeds the line limit"
+                    ),
                 )
-                await writer.drain()
                 break
             if not line:
                 break  # client hung up
             if line.strip() == b"":
                 continue
+            pump_args = None
             try:
                 frame = protocol.decode_frame(line)
             except ProtocolError as exc:
                 response = protocol.error_response(exc.code, str(exc))
             else:
-                response = await dispatch(service, frame)
-            writer.write(protocol.encode_frame(response))
-            await writer.drain()
+                if frame.get("op") == "SUBSCRIBE":
+                    response, pump_args = _prepare_subscription(service, frame)
+                else:
+                    response = await dispatch(service, frame)
+            try:
+                await _write_frame(writer, wlock, response)
+            except BaseException:
+                if pump_args is not None:
+                    pump_args[0].unsubscribe(pump_args[1])
+                raise
+            if pump_args is not None:
+                task = asyncio.create_task(
+                    _subscription_pump(*pump_args, writer, wlock)
+                )
+                pumps.add(task)
+                task.add_done_callback(pumps.discard)
     except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
         pass
     finally:
+        for task in list(pumps):
+            task.cancel()
+        if pumps:
+            await asyncio.gather(*pumps, return_exceptions=True)
         writer.close()
         try:
             await writer.wait_closed()

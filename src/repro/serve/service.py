@@ -8,6 +8,8 @@ drive it directly). It owns the tenant map and the durability layout: under
     <data_dir>/<tenant>/session.json    # SessionConfig, written atomically
     <data_dir>/<tenant>/ckpt/           # the Supervisor's CheckpointStore
     <data_dir>/<tenant>/wal/            # write-ahead log segments (opt-in)
+    <data_dir>/<tenant>/evj/            # evolution journal (CDC) segments
+    <data_dir>/<tenant>/archive/        # sparse AS_OF snapshots (opt-in)
 
 so :meth:`ClusterService.resume_all` can resurrect every tenant of a killed
 server — config from the metadata file, clustering state from the newest
@@ -34,6 +36,8 @@ import re
 from pathlib import Path
 
 from repro._version import __version__
+from repro.query.archive import SnapshotArchive
+from repro.query.journal import EvolutionJournal
 from repro.runtime.wal import WriteAheadLog
 from repro.serve.config import SessionConfig
 from repro.serve.protocol import ServeError
@@ -137,6 +141,8 @@ class ClusterService:
             )
         store = None
         wal = None
+        evjournal = None
+        archive = None
         if self.data_dir is not None:
             tenant_dir = self.data_dir / name
             tenant_dir.mkdir(parents=True, exist_ok=True)
@@ -144,10 +150,18 @@ class ClusterService:
             store = str(tenant_dir / "ckpt")
             if config.wal:
                 wal = self._make_wal(tenant_dir, config)
+            if config.journal:
+                evjournal, archive = self._make_query_side(tenant_dir, config)
         elif config.wal:
             raise ServeError(
                 "bad-request",
                 "the write-ahead log needs a durable tenant: "
+                "start the server with --data-dir",
+            )
+        elif config.journal:
+            raise ServeError(
+                "bad-request",
+                "the evolution journal needs a durable tenant: "
                 "start the server with --data-dir",
             )
         session = TenantSession(
@@ -157,6 +171,8 @@ class ClusterService:
             tracer=self._make_tracer(name),
             journal=[] if self.journal else None,
             wal=wal,
+            evjournal=evjournal,
+            archive=archive,
         )
         session.start(resume=resume if store is not None else False)
         self.sessions[name] = session
@@ -202,6 +218,8 @@ class ClusterService:
         await session.close()
         if session.wal is not None:
             session.wal.close()
+        if session.evjournal is not None:
+            session.evjournal.close()
         if session.tracer is not None:
             session.tracer.close()
         self.degraded.pop(name, None)
@@ -344,7 +362,13 @@ class ClusterService:
             tracer=crashed.tracer,
             journal=[] if self.journal else None,
             wal=crashed.wal,
+            evjournal=crashed.evjournal,
+            archive=crashed.archive,
         )
+        # Live subscriptions survive the in-place restart: the pump tasks
+        # hold subscriber queues, not the session object, and WAL-tail
+        # replay republishes idempotently — no duplicates, no gaps.
+        replacement._subscribers = crashed._subscribers
         replacement.restarts = self._restart_totals.get(name, 0)
         replacement.start(
             resume="auto" if store is not None else False, swallow_prefix=False
@@ -359,6 +383,25 @@ class ClusterService:
             fsync_interval_s=config.wal_fsync_interval_s,
             segment_bytes=config.wal_segment_bytes,
         )
+
+    def _make_query_side(
+        self, tenant_dir: Path, config: SessionConfig
+    ) -> tuple[EvolutionJournal, SnapshotArchive]:
+        """The tenant's CDC journal + AS_OF archive (journal fsync knobs
+        mirror the WAL's ``every_n``/``interval`` parameters)."""
+        evjournal = EvolutionJournal(
+            tenant_dir / "evj",
+            fsync=config.journal_fsync,
+            fsync_every=config.wal_fsync_every,
+            fsync_interval_s=config.wal_fsync_interval_s,
+            segment_bytes=config.journal_segment_bytes,
+        )
+        archive = SnapshotArchive(
+            tenant_dir / "archive",
+            every=config.archive_every,
+            journal=evjournal,
+        )
+        return evjournal, archive
 
     # -------------------------------------------------------------- internals
 

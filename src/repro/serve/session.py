@@ -28,32 +28,98 @@ from repro.common.points import StreamPoint
 from repro.common.snapshot import Category, Clustering
 from repro.core.store import NO_ID
 from repro.datasets.io import MalformedRecord
+from repro.query.archive import ArchiveError, SnapshotArchive
+from repro.query.journal import EvolutionJournal, stride_record
 from repro.runtime.chaos import RuntimeHooks
 from repro.runtime.stats import RuntimeStats
 from repro.runtime.supervisor import Supervisor
 from repro.runtime.wal import WalError, WriteAheadLog
 from repro.serve.config import SessionConfig
-from repro.serve.protocol import ServeError
+from repro.serve.protocol import SUBSCRIBE_POLICIES, ServeError
 
 #: Queue sentinel telling the writer task to exit.
 _CLOSE = object()
 
 
-class _WalCompactionHooks(RuntimeHooks):
-    """Garbage-collect WAL segments once a checkpoint covers them.
+class _DurabilityHooks(RuntimeHooks):
+    """Couple the supervisor's stride/checkpoint boundaries to the logs.
 
-    The supervisor calls :meth:`after_checkpoint` right after the durable
-    rename; at that instant the checkpoint's ``stream_offset`` equals
-    ``stats.points_seen``, so every WAL record below it is redundant.
+    - :meth:`after_stride` publishes the stride's CDC record to the
+      evolution journal (and its snapshot to the archive, on cadence)
+      *inside* ``feed`` — so by the time a checkpoint is taken, every
+      stride it covers is already journaled.
+    - :meth:`before_checkpoint` fsyncs the journal, making the invariant
+      durable: a durable checkpoint at stride S implies a durable journal
+      through stride S. Recovery can therefore always resume publishing
+      contiguously (WAL-tail replay re-derives anything past the
+      checkpoint idempotently).
+    - :meth:`after_checkpoint` garbage-collects WAL segments the
+      checkpoint's ``stream_offset`` covers, and journal segments older
+      than the retention window (never past the newest archive snapshot
+      that still needs them for delta replay).
     """
 
     def __init__(self, session: "TenantSession") -> None:
         self.session = session
 
+    def after_stride(self, stride: int, summary) -> None:
+        self.session._journal_stride(stride, summary)
+
+    def before_checkpoint(self, stride: int) -> None:
+        evjournal = self.session.evjournal
+        if evjournal is not None:
+            try:
+                evjournal.sync()
+            except OSError as exc:  # pragma: no cover - disk failure
+                self.session.journal_error = f"journal sync failed: {exc}"
+
     def after_checkpoint(self, stride: int, path) -> None:
         wal = self.session.wal
         if wal is not None:
             wal.compact(self.session.supervisor.stats.points_seen)
+        self.session._compact_journal(stride)
+
+
+class _Subscriber:
+    """One live ``SUBSCRIBE`` consumer: a bounded push queue + its policy.
+
+    The writer fans freshly journaled records into :attr:`queue`; the
+    server-side pump task drains it onto the subscriber's connection. A
+    ``None`` in the queue is the terminal marker (:attr:`reason` says why).
+    """
+
+    __slots__ = ("queue", "policy", "closed", "reason", "task")
+
+    def __init__(self, policy: str, queue_limit: int) -> None:
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=queue_limit)
+        self.policy = policy
+        self.closed = False
+        self.reason: str | None = None
+        self.task = None  # the pump task, attached by the server
+
+    def end(self, reason: str) -> None:
+        """Mark the subscription over and wake the pump.
+
+        When the queue is full (the slow consumer that usually got us
+        here), the newest undelivered record is dropped to make room for
+        the terminal marker — the ``end`` frame's ``cursor`` tells the
+        client where to resume, so nothing is silently lost.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        self.reason = reason
+        try:
+            self.queue.put_nowait(None)
+        except asyncio.QueueFull:
+            try:
+                self.queue.get_nowait()
+            except asyncio.QueueEmpty:  # pragma: no cover - race-free
+                pass
+            try:
+                self.queue.put_nowait(None)
+            except asyncio.QueueFull:  # pragma: no cover - race-free
+                pass
 
 
 class SessionView:
@@ -167,6 +233,16 @@ class TenantSession:
             diverge from a never-crashed run. ``SessionConfig`` enforces the
             rule for config-driven WALs; this constructor enforces it again
             for directly injected ``wal`` objects, which bypass the config.
+        evjournal: optional :class:`~repro.query.journal.EvolutionJournal`.
+            When set, the writer publishes every closed stride's CDC
+            record (events + membership delta) at the copy-on-publish
+            point — the feed behind ``SUBSCRIBE``/``EVENTS`` and the delta
+            source for ``AS_OF`` time travel. Unlike the WAL it works
+            under any backpressure policy: it journals *derived strides*,
+            not admissions.
+        archive: optional :class:`~repro.query.archive.SnapshotArchive`
+            writing sparse full snapshots every ``config.archive_every``
+            strides for ``AS_OF`` queries.
     """
 
     def __init__(
@@ -178,6 +254,8 @@ class TenantSession:
         tracer=None,
         journal: list | None = None,
         wal: WriteAheadLog | None = None,
+        evjournal: EvolutionJournal | None = None,
+        archive: SnapshotArchive | None = None,
     ) -> None:
         if wal is not None and config.backpressure != "block":
             raise ConfigurationError(
@@ -192,8 +270,13 @@ class TenantSession:
         self.tracer = tracer
         self.journal = journal
         self.wal = wal
+        self.evjournal = evjournal
+        self.archive = archive
         if tracer is not None and wal is not None:
             tracer.wal_source = wal
+        if tracer is not None and evjournal is not None:
+            tracer.journal_source = evjournal
+        needs_hooks = wal is not None or evjournal is not None or archive is not None
         self.supervisor = Supervisor(
             config.eps,
             config.tau,
@@ -204,7 +287,7 @@ class TenantSession:
             time_based=config.time_based,
             policy=config.on_malformed,
             stats=RuntimeStats(),
-            hooks=_WalCompactionHooks(self) if wal is not None else None,
+            hooks=_DurabilityHooks(self) if needs_hooks else None,
             tracer=tracer,
         )
         self.view: SessionView = SessionView.empty(config.eps)
@@ -219,11 +302,16 @@ class TenantSession:
         self.queries = 0
         self.restarts = 0  # supervised restarts of this tenant (service-set)
         self.wal_error: str | None = None  # last journalling failure, if any
+        self.journal_error: str | None = None  # last CDC/archive failure
         self.crashed = asyncio.Event()  # unexpected writer death (supervision)
         self.replay_offset = 0  # prefix length a resume asked us to swallow
         self._skip = 0  # replay prefix still to swallow (resume)
         self._queue: asyncio.Queue = asyncio.Queue(maxsize=config.queue_limit)
         self._writer: asyncio.Task | None = None
+        self._journal_prev: Clustering | None = None  # CDC delta base
+        self._last_time: float | None = None  # stamp of the last fed point
+        self._pending_push: list[dict] = []  # journaled, not yet fanned out
+        self._subscribers: list[_Subscriber] = []
 
     # ------------------------------------------------------------- lifecycle
 
@@ -242,13 +330,25 @@ class TenantSession:
         clients never saw the crash and keep sending *new* points only.
         """
         offset = self.supervisor.begin(resume=resume)
+        if self.supervisor.stride > 0 and (
+            self.evjournal is not None or self.archive is not None
+        ):
+            # The CDC delta base after a restore is the checkpointed
+            # clustering (stride index ``supervisor.stride - 1``): the next
+            # closed stride diffs against it, exactly as the pre-crash
+            # writer would have.
+            self._journal_prev = self.supervisor.clusterer.snapshot()
         replayed = 0
         if self.wal is not None:
             # The acknowledged tail the checkpoint does not cover. Feeding
             # it reconstructs exactly the pre-crash pipeline state: same
-            # items, same order, same stride boundaries.
+            # items, same order, same stride boundaries — and the stride
+            # hooks re-derive (and idempotently skip) the journal records
+            # those boundaries produced before the crash.
             try:
                 for item in self.wal.replay(offset):
+                    if isinstance(item, StreamPoint):
+                        self._last_time = item.time
                     self.supervisor.feed(item)
                     if self.journal is not None:
                         self.journal.append(item)
@@ -261,6 +361,7 @@ class TenantSession:
                 self.failed = f"{type(exc).__name__}: {exc}"
         self.replay_offset = offset + replayed
         self._skip = self.replay_offset if swallow_prefix else 0
+        self._flush_pending_nowait()
         if self.supervisor.stride > 0:
             # Restored mid-run: publish the recovered clustering so readers
             # see the resumed state before the first new advance.
@@ -272,6 +373,7 @@ class TenantSession:
 
     async def close(self) -> None:
         """Stop the writer task (does not checkpoint; see :meth:`drain`)."""
+        self.end_subscriptions("closed")
         if self._writer is None:
             return
         if not self._writer.done():
@@ -382,11 +484,14 @@ class TenantSession:
             if flush_tail and self.failed is None:
                 if self.supervisor.finish():
                     self._publish()
+            if self._pending_push:
+                await self._fanout(self._take_pending())
             # The writer may have died on an item it dequeued during the
             # join; never checkpoint a failed session.
             path = None if self.failed else self.supervisor.final_checkpoint()
         else:
             path = None
+        self.end_subscriptions("drained")
         self.drained = True
         return {
             "stride": self.view.stride,
@@ -403,6 +508,9 @@ class TenantSession:
             if item is _CLOSE:
                 self._queue.task_done()
                 return
+            if isinstance(item, StreamPoint):
+                # The stamp any stride this item closes is journaled under.
+                self._last_time = item.time
             try:
                 results = self.supervisor.feed(item)
             except ReproError as exc:
@@ -425,6 +533,11 @@ class TenantSession:
             self.ingested += 1
             if results:
                 self._publish()
+            if self._pending_push:
+                # Commit-then-push: under journal_fsync=always a record is
+                # durable before any subscriber can observe it, so a crash
+                # can never lose an event a client already reacted to.
+                await self._fanout(self._take_pending())
             self._queue.task_done()
             if results:
                 # A stride boundary is the natural scheduling point: let
@@ -481,6 +594,186 @@ class TenantSession:
             self.supervisor.stride - 1, clustering, self.config.eps, cores
         )
 
+    # ------------------------------------------------------------- CDC journal
+
+    def _journal_stride(self, stride: int, summary) -> None:
+        """Publish one closed stride's CDC record (supervisor hook).
+
+        Runs inside ``feed``/``finish`` right after the stride closed and
+        *before* any checkpoint for it can be taken, so the journal never
+        trails a durable checkpoint. Already-journaled strides (WAL-tail
+        replay after a crash) are skipped idempotently by ``publish`` —
+        the deterministic pipeline re-derives them byte-identically.
+        Journal/archive failures degrade CDC (recorded in
+        ``journal_error``) instead of failing the tenant.
+        """
+        if self.evjournal is None and self.archive is None:
+            return
+        clustering = self.supervisor.clusterer.snapshot()
+        record = stride_record(
+            stride,
+            self._journal_prev,
+            clustering,
+            summary,
+            time=self._last_time,
+        )
+        self._journal_prev = clustering
+        if self.evjournal is not None:
+            try:
+                if self.evjournal.publish(record) is not None:
+                    self._pending_push.append(record)
+            except WalError as exc:
+                self.journal_error = str(exc)
+                self.end_subscriptions("journal-error")
+        if self.archive is not None:
+            try:
+                self.archive.maybe_snapshot(stride, clustering)
+            except (ArchiveError, OSError) as exc:
+                self.journal_error = str(exc)
+
+    def _compact_journal(self, stride: int) -> None:
+        """Retention GC at a checkpoint boundary (supervisor hook).
+
+        Keeps at least ``journal_retention`` strides of history, and never
+        cuts past the newest archive snapshot still needed to answer
+        ``AS_OF`` at the retention floor (delta replay starts from a
+        snapshot at or before the asked stride).
+        """
+        evjournal = self.evjournal
+        retention = self.config.journal_retention
+        if evjournal is None or retention <= 0:
+            return
+        upto = stride - retention
+        if self.archive is not None:
+            snap = self.archive.latest_at_or_before(upto)
+            upto = min(upto, snap + 1 if snap is not None else 0)
+        if upto > 0:
+            evjournal.compact(upto)
+
+    def _take_pending(self) -> list[dict]:
+        """Freshly journaled records, committed (fsync policy) for push."""
+        pending, self._pending_push = self._pending_push, []
+        if pending and self.evjournal is not None:
+            try:
+                self.evjournal.commit()
+            except OSError as exc:  # pragma: no cover - disk failure
+                self.journal_error = f"journal commit failed: {exc}"
+        return pending
+
+    def _flush_pending_nowait(self) -> None:
+        """Best-effort fanout during synchronous recovery (``start``).
+
+        Subscribers carried across a supervised restart get records that
+        became *newly* journaled during WAL-tail replay (possible when the
+        journal's fsync policy is weaker than the WAL's). A full queue here
+        ends that subscription — the client resumes from its cursor.
+        """
+        for record in self._take_pending():
+            for sub in list(self._subscribers):
+                if sub.closed:
+                    continue
+                try:
+                    sub.queue.put_nowait(record)
+                except asyncio.QueueFull:
+                    sub.end("slow-consumer")
+
+    async def _fanout(self, records: list[dict]) -> None:
+        """Deliver records to every live subscriber under its policy.
+
+        ``block`` awaits queue space — the writer stalls, the ingest queue
+        fills, and producers feel it as backpressure, exactly like the
+        ingest ``block`` policy. ``disconnect`` ends the subscription when
+        its queue is full (the terminal frame carries the resume cursor).
+        """
+        for record in records:
+            for sub in list(self._subscribers):
+                if sub.closed:
+                    self._subscribers.remove(sub)
+                    continue
+                if sub.policy == "block":
+                    await sub.queue.put(record)
+                else:  # disconnect
+                    try:
+                        sub.queue.put_nowait(record)
+                    except asyncio.QueueFull:
+                        sub.end("slow-consumer")
+
+    # ---------------------------------------------------------- subscriptions
+
+    def subscribe(
+        self,
+        *,
+        cursor: int = 0,
+        policy: str = "block",
+        queue_limit: int = 256,
+    ) -> tuple[_Subscriber, int, int]:
+        """Register a push consumer; return ``(subscriber, cursor, head)``.
+
+        Atomic with respect to the writer (no awaits): records below
+        ``head`` at registration time are the backlog the server pump
+        streams from the journal; records from ``head`` on arrive through
+        the subscriber queue. ``cursor`` is clamped to the journal's
+        retention floor (the response tells the client where it actually
+        starts).
+        """
+        if self.evjournal is None:
+            raise ServeError(
+                "bad-request",
+                f"session {self.name!r} has no evolution journal; "
+                "open it with journal=true to subscribe",
+            )
+        if policy not in SUBSCRIBE_POLICIES:
+            raise ServeError(
+                "bad-request",
+                f"unknown subscribe policy {policy!r}; "
+                f"expected one of {SUBSCRIBE_POLICIES}",
+            )
+        if self.drained:
+            raise ServeError(
+                "draining", f"session {self.name!r} is drained; no more strides"
+            )
+        effective = max(int(cursor), self.evjournal.floor)
+        head = self.evjournal.head
+        sub = _Subscriber(policy, queue_limit)
+        self._subscribers.append(sub)
+        return sub, effective, head
+
+    def unsubscribe(self, sub: _Subscriber) -> None:
+        if sub in self._subscribers:
+            self._subscribers.remove(sub)
+
+    def end_subscriptions(self, reason: str) -> None:
+        """Terminate every live subscription (drain/close/failure)."""
+        for sub in list(self._subscribers):
+            sub.end(reason)
+        self._subscribers.clear()
+
+    def events(
+        self, cursor: int = 0, limit: int | None = None
+    ) -> tuple[list[dict], int, int]:
+        """``EVENTS`` pull: ``(records, head, floor)`` from the journal."""
+        if self.evjournal is None:
+            raise ServeError(
+                "bad-request",
+                f"session {self.name!r} has no evolution journal; "
+                "open it with journal=true to read events",
+            )
+        records = self.evjournal.read(max(0, int(cursor)), limit=limit)
+        return records, self.evjournal.head, self.evjournal.floor
+
+    def as_of(self, stride: int | None = None, time: float | None = None) -> dict:
+        """``AS_OF`` time travel: full membership payload at a past stride."""
+        if self.archive is None:
+            raise ServeError(
+                "bad-request",
+                f"session {self.name!r} has no snapshot archive; "
+                "open it with journal=true to time-travel",
+            )
+        try:
+            return self.archive.as_of(stride=stride, time=time)
+        except ArchiveError as exc:
+            raise ServeError("bad-request", str(exc)) from exc
+
     # ------------------------------------------------------------- read side
 
     def require_healthy(self) -> None:
@@ -518,6 +811,20 @@ class TenantSession:
             payload["wal"] = self.wal.stats.as_dict()
             if self.wal_error is not None:
                 payload["wal_error"] = self.wal_error
+        if self.evjournal is not None:
+            payload["journal"] = {
+                **self.evjournal.stats.as_dict(),
+                "head": self.evjournal.head,
+                "floor": self.evjournal.floor,
+                "subscribers": len(self._subscribers),
+            }
+            if self.journal_error is not None:
+                payload["journal_error"] = self.journal_error
+        if self.archive is not None:
+            payload["archive"] = {
+                "snapshots": len(self.archive.strides()),
+                "every": self.archive.every,
+            }
         if self.tracer is not None:
             payload["trace"] = self.tracer.aggregate.latency_summary()
         return payload

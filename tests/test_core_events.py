@@ -9,7 +9,7 @@ import pytest
 from repro.baselines.dbscan import SlidingDBSCAN
 from repro.common.points import StreamPoint
 from repro.core.disc import DISC
-from repro.core.events import EvolutionKind, StrideSummary
+from repro.core.events import EvolutionEvent, EvolutionKind, StrideSummary
 from repro.metrics.compare import assert_equivalent
 
 
@@ -154,6 +154,90 @@ class TestShrinkAndDissipate:
         snapshot = disc.snapshot()
         assert snapshot.num_clusters == 0
         assert snapshot.label_of(0) == snapshot.NOISE_ID
+
+
+class TestEventListCounts:
+    """Regression: ``StrideSummary.count`` must not rescan the event list.
+
+    It used to be O(n · kinds) per stride in the monitoring hot path; the
+    tally now lives in ``EventList.kind_counts`` and every mutation path has
+    to keep it exact.
+    """
+
+    @staticmethod
+    def ev(kind, i=0):
+        return EvolutionEvent(kind, (i,), i)
+
+    def test_counts_track_every_mutation(self):
+        from collections import Counter
+
+        from repro.core.events import EventList
+
+        merge, split = EvolutionKind.MERGE, EvolutionKind.SPLIT
+        events = EventList([self.ev(merge, 1)])
+        events.append(self.ev(split, 2))
+        events.extend([self.ev(merge, 3), self.ev(merge, 4)])
+        events += [self.ev(split, 5)]
+        events.insert(0, self.ev(EvolutionKind.EMERGE, 6))
+        events.remove(events[1])  # the original merge
+        popped = events.pop()
+        assert popped.kind is split
+        events[0] = self.ev(split, 7)
+        del events[1]
+        assert events.kind_counts == Counter(e.kind for e in events)
+        events.clear()
+        assert events.kind_counts == Counter()
+
+    def test_copy_recounts_independently(self):
+        from repro.core.events import EventList
+
+        events = EventList([self.ev(EvolutionKind.MERGE)])
+        clone = events.copy()
+        clone.append(self.ev(EvolutionKind.MERGE))
+        assert events.kind_counts[EvolutionKind.MERGE] == 1
+        assert clone.kind_counts[EvolutionKind.MERGE] == 2
+
+    def test_count_does_not_rescan_the_list(self):
+        """Each event's ``kind`` is read at insertion, never again per count."""
+
+        class CountingEvent:
+            def __init__(self, kind):
+                self._kind = kind
+                self.kind_reads = 0
+
+            @property
+            def kind(self):
+                self.kind_reads += 1
+                return self._kind
+
+        probes = [CountingEvent(EvolutionKind.MERGE) for _ in range(5)]
+        summary = StrideSummary(events=list(probes))
+        baseline = [p.kind_reads for p in probes]
+        for _ in range(100):
+            for kind in EvolutionKind:
+                summary.count(kind)
+        assert [p.kind_reads for p in probes] == baseline
+        assert summary.count(EvolutionKind.MERGE) == 5
+
+    def test_plain_list_reassignment_still_counts(self):
+        """A caller who reassigns ``events`` to a bare list loses the O(1)
+        path but must keep getting correct answers."""
+        summary = StrideSummary()
+        summary.events = [
+            self.ev(EvolutionKind.MERGE),
+            self.ev(EvolutionKind.MERGE),
+            self.ev(EvolutionKind.SPLIT),
+        ]
+        assert summary.count(EvolutionKind.MERGE) == 2
+        assert summary.count(EvolutionKind.SPLIT) == 1
+        assert summary.count(EvolutionKind.EMERGE) == 0
+
+    def test_post_init_coerces_plain_lists(self):
+        from repro.core.events import EventList
+
+        summary = StrideSummary(events=[self.ev(EvolutionKind.EXPAND)])
+        assert isinstance(summary.events, EventList)
+        assert summary.count(EvolutionKind.EXPAND) == 1
 
 
 class TestStrideSummary:

@@ -1,0 +1,197 @@
+"""Snapshot-archive unit tests: materialization, AS_OF, corruption.
+
+The archive's contract: for any retained stride, nearest-snapshot +
+journal-delta replay reconstructs exactly the membership the pipeline had
+when that stride closed. The tests drive a real DISC pipeline, track the
+ground-truth membership per stride, and compare every materialization
+against it — under several snapshot cadences, including none at all.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import cluster_stream
+from repro.common.config import WindowSpec
+from repro.common.snapshot import Clustering
+from repro.query.archive import ArchiveError, SnapshotArchive, stride_at_time
+from repro.query.journal import EvolutionJournal, stride_record
+
+from .conftest import clustered_stream
+
+EPS, TAU = 0.8, 4
+WINDOW, STRIDE = 120, 30
+
+
+def pipeline_history(points, *, journal_dir, every, archive_dir):
+    """Run DISC offline, journaling every stride; return ground truth.
+
+    Returns ``(journal, archive, states)`` where ``states[s]`` is the
+    membership ``{pid: [label, cat]}`` at stride ``s``.
+    """
+    journal = EvolutionJournal(journal_dir)
+    archive = SnapshotArchive(archive_dir, every=every, journal=journal)
+    last = {"time": None}
+
+    def tracked():
+        for p in points:
+            last["time"] = p.time
+            yield p
+
+    spec = WindowSpec(window=WINDOW, stride=STRIDE)
+    prev = None
+    states = []
+    for s, (clustering, summary) in enumerate(
+        cluster_stream(tracked(), spec, eps=EPS, tau=TAU)
+    ):
+        journal.publish(
+            stride_record(s, prev, clustering, summary, time=last["time"])
+        )
+        archive.maybe_snapshot(s, clustering)
+        prev = clustering
+        states.append(
+            {
+                pid: [clustering.labels.get(pid, Clustering.NOISE_ID), cat.value]
+                for pid, cat in clustering.categories.items()
+            }
+        )
+    journal.commit()
+    return journal, archive, states
+
+
+@pytest.fixture(scope="module")
+def history(tmp_path_factory):
+    root = tmp_path_factory.mktemp("archive-history")
+    points = clustered_stream(33, 360)
+    return pipeline_history(
+        points, journal_dir=root / "evj", every=4, archive_dir=root / "arch"
+    )
+
+
+class TestMaterialize:
+    def test_every_stride_matches_ground_truth(self, history):
+        journal, archive, states = history
+        assert len(states) == 360 // STRIDE
+        assert archive.strides() == [0, 4, 8]
+        for s, expected in enumerate(states[:-1]):
+            assert archive.materialize(s) == expected, f"stride {s} diverged"
+
+    def test_newest_closed_stride_is_not_answerable(self, history):
+        journal, archive, states = history
+        # AS_OF serves *past* strides; the newest is the live view's job.
+        with pytest.raises(ArchiveError, match="ahead of the journal head"):
+            archive.materialize(len(states))
+
+    def test_without_snapshots_replays_from_empty(self, tmp_path):
+        points = clustered_stream(34, 240)
+        journal, archive, states = pipeline_history(
+            points,
+            journal_dir=tmp_path / "evj",
+            every=0,  # no snapshots at all: pure delta replay from stride 0
+            archive_dir=tmp_path / "arch",
+        )
+        assert archive.strides() == []
+        for s, expected in enumerate(states[:-1]):
+            assert archive.materialize(s) == expected
+
+    def test_compaction_keeps_snapshot_answerable_strides(self, tmp_path):
+        points = clustered_stream(35, 360)
+        journal, archive, states = pipeline_history(
+            points,
+            journal_dir=tmp_path / "evj",
+            every=4,
+            archive_dir=tmp_path / "arch",
+        )
+        # Cut history below stride 4 (the second snapshot covers 4+).
+        journal.compact(4)
+        assert journal.floor <= 4
+        for s in range(4, len(states) - 1):
+            assert archive.materialize(s) == states[s]
+        # A stride below every snapshot AND below the floor is refused —
+        # unless the floor is still 0 (nothing was actually cut).
+        if journal.floor > 0:
+            orphan = journal.floor - 1
+            if archive.latest_at_or_before(orphan) is None:
+                with pytest.raises(ArchiveError):
+                    archive.materialize(orphan)
+
+
+class TestAsOf:
+    def test_as_of_stride_payload(self, history):
+        journal, archive, states = history
+        payload = archive.as_of(stride=5)
+        assert payload["stride"] == 5
+        assert payload["num_points"] == len(states[5])
+        assert payload["labels"] == {
+            str(pid): lab for pid, (lab, _) in states[5].items()
+        }
+        assert payload["categories"] == {
+            str(pid): cat for pid, (_, cat) in states[5].items()
+        }
+        core_labels = {
+            lab for lab, cat in states[5].values() if cat == "core"
+        }
+        assert payload["num_clusters"] == len(core_labels)
+
+    def test_as_of_time_resolves_to_stride(self, history):
+        journal, archive, states = history
+        records = journal.read(0)
+        # Exactly at a stride's closing stamp -> that stride.
+        r = records[3]
+        assert stride_at_time(journal, r["time"]) == r["stride"]
+        assert archive.as_of(time=r["time"])["stride"] == r["stride"]
+        # Between two stamps -> the earlier stride.
+        mid = (records[3]["time"] + records[4]["time"]) / 2.0
+        if records[3]["time"] < mid < records[4]["time"]:
+            assert archive.as_of(time=mid)["stride"] == 3
+
+    def test_time_before_history_errors(self, history):
+        journal, archive, states = history
+        first = journal.read(0, 1)[0]["time"]
+        with pytest.raises(ArchiveError, match="no retained stride"):
+            archive.as_of(time=first - 1e6)
+
+    def test_exactly_one_selector_required(self, history):
+        journal, archive, _ = history
+        with pytest.raises(ArchiveError, match="exactly one"):
+            archive.as_of()
+        with pytest.raises(ArchiveError, match="exactly one"):
+            archive.as_of(stride=1, time=1.0)
+
+
+class TestCorruption:
+    def test_crc_mismatch_is_detected(self, tmp_path):
+        points = clustered_stream(36, 240)
+        journal, archive, states = pipeline_history(
+            points,
+            journal_dir=tmp_path / "evj",
+            every=4,
+            archive_dir=tmp_path / "arch",
+        )
+        path = archive.directory / "snap-0000000004.json"
+        envelope = json.loads(path.read_text())
+        envelope["payload"]["label"][0] += 1  # silent bitrot
+        path.write_text(json.dumps(envelope, sort_keys=True))
+        with pytest.raises(ArchiveError, match="CRC"):
+            archive.load(4)
+
+    def test_missing_snapshot_errors(self, tmp_path):
+        archive = SnapshotArchive(tmp_path / "arch")
+        with pytest.raises(ArchiveError, match="no snapshot"):
+            archive.load(7)
+
+    def test_reopen_rediscovers_snapshots(self, tmp_path):
+        points = clustered_stream(37, 240)
+        journal, archive, states = pipeline_history(
+            points,
+            journal_dir=tmp_path / "evj",
+            every=4,
+            archive_dir=tmp_path / "arch",
+        )
+        reopened = SnapshotArchive(
+            tmp_path / "arch", every=4, journal=journal
+        )
+        assert reopened.strides() == archive.strides()
+        assert reopened.materialize(5) == states[5]

@@ -44,7 +44,9 @@ async def hammer(session, observations, stop):
 
         # Internal consistency of this one view (torn-read detection): the
         # snapshot payload, the core set and the membership answers must all
-        # describe the same stride.
+        # describe the same stride — every query surface stamps the same
+        # ``stride`` consistency token, so a client can detect when two
+        # answers came from different window states.
         assert payload["stride"] == view.stride
         assert payload["num_points"] == len(payload["categories"])
         assert payload["labels"] == {str(pid): cid for pid, cid in labels.items()}
@@ -54,9 +56,13 @@ async def hammer(session, observations, stop):
                 f"core {pid} labelled {core_label} but snapshot says "
                 f"{labels.get(pid)} at stride {view.stride}"
             )
+        verdict = view.classify((0.0, 0.0))
+        assert verdict["stride"] == view.stride
         if labels:
             probe = next(iter(labels))
-            assert view.membership(probe)["label"] == labels[probe]
+            answer = view.membership(probe)
+            assert answer["stride"] == view.stride == payload["stride"]
+            assert answer["label"] == labels[probe]
 
         observations.append((view.stride, labels))
         await asyncio.sleep(0)

@@ -65,7 +65,17 @@ class TestFrames:
         assert response["error"]["code"] in ERROR_CODES
 
     def test_every_op_is_documented(self):
-        assert OPS == ("OPEN", "INGEST", "QUERY", "SNAPSHOT", "STATS", "DRAIN", "CLOSE")
+        assert OPS == (
+            "OPEN",
+            "INGEST",
+            "QUERY",
+            "SNAPSHOT",
+            "EVENTS",
+            "SUBSCRIBE",
+            "STATS",
+            "DRAIN",
+            "CLOSE",
+        )
 
 
 class TestPoints:

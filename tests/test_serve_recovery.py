@@ -204,6 +204,121 @@ def test_sigkill_with_wal_loses_zero_acked_points(tmp_path):
 
 
 @pytest.mark.chaos
+def test_sigkill_journal_loses_zero_observed_events(tmp_path):
+    """The CDC durability drill: with ``journal_fsync=always`` every record a
+    subscriber *observes* is already fsynced (commit-then-push), so a SIGKILL
+    at an arbitrary instant loses none of them — the resumed journal replays
+    the observed stream as a byte-identical prefix, and after a full re-feed
+    the journal equals an uninterrupted offline run."""
+    from repro.query.journal import encode_record
+
+    from .test_serve_query import offline_records
+
+    config = {
+        **CONFIG,
+        "wal": True,
+        "wal_fsync": "always",
+        "journal": True,
+        "journal_fsync": "always",
+        "archive_every": 4,
+    }
+    points = clustered_stream(44, 300)
+    cut = 185  # not a stride boundary: strides keep closing after the acks
+
+    async def feed_with_subscriber(port):
+        """Ingest the prefix while a live subscriber collects pushed records.
+
+        Returns the records the subscriber had observed once the journal head
+        went quiet — every one of them was pushed *after* its fsync."""
+        seen = []
+        async with await ServeClient.connect("127.0.0.1", port) as client:
+            await client.open_session("tenant-j", config, resume="auto")
+            sub = await ServeClient.connect("127.0.0.1", port)
+
+            async def collect():
+                try:
+                    async for frame in sub.pushes():
+                        if frame["push"] != "event":
+                            break
+                        seen.append(frame["record"])
+                except Exception:
+                    pass  # the kill tears this socket down; that's the drill
+
+            await sub.subscribe("tenant-j", cursor=0)
+            task = asyncio.create_task(collect())
+            try:
+                for i in range(0, cut, 50):
+                    await client.ingest("tenant-j", points[i : min(i + 50, cut)])
+                # Wait until the journal head is stable and fully delivered.
+                deadline = time.monotonic() + 15
+                stable, head = 0, -1
+                while stable < 3 and time.monotonic() < deadline:
+                    payload = await client.stats("tenant-j")
+                    new_head = payload["journal"]["head"]
+                    if new_head == head and new_head > 0 and len(seen) >= new_head:
+                        stable += 1
+                    else:
+                        stable = 0
+                    head = new_head
+                    await asyncio.sleep(0.05)
+                assert stable >= 3, "journal head never settled before the kill"
+            finally:
+                task.cancel()
+                await asyncio.gather(task, return_exceptions=True)
+                await sub.close()
+        return list(seen)
+
+    # Life 1: ingest under a live subscription, then die without any grace.
+    proc, port = start_server(tmp_path)
+    try:
+        observed = asyncio.run(feed_with_subscriber(port))
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=10)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    assert observed, "the drill needs at least one observed record"
+
+    async def resume_and_read(port):
+        async with await ServeClient.connect("127.0.0.1", port) as client:
+            await client.open_session("tenant-j", config, resume="auto")
+            # The recovered journal must already hold every observed record.
+            recovered = (await client.events("tenant-j", 0))["events"]
+            # Then re-feed the whole stream and read the full CDC history.
+            for i in range(0, len(points), 50):
+                await client.ingest("tenant-j", points[i : i + 50])
+            await client.drain("tenant-j", flush_tail=True)
+            full, cursor = [], 0
+            while True:
+                page = await client.events("tenant-j", cursor)
+                full.extend(page["events"])
+                if page["next_cursor"] >= page["head"]:
+                    break
+                cursor = page["next_cursor"]
+            return recovered, full
+
+    # Life 2: resume and check nothing observed was lost.
+    proc, port = start_server(tmp_path, resume=True)
+    try:
+        recovered, full = asyncio.run(resume_and_read(port))
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+    observed_bytes = [encode_record(r) for r in observed]
+    assert [encode_record(r) for r in recovered[: len(observed)]] == (
+        observed_bytes
+    ), "an acked-and-pushed CDC record did not survive SIGKILL"
+    # And the re-fed journal is byte-identical to an offline run end to end.
+    assert [encode_record(r) for r in full] == [
+        encode_record(r) for r in offline_records(points)
+    ]
+
+
+@pytest.mark.chaos
 def test_graceful_sigterm_drains_to_resumable_state(tmp_path):
     """SIGTERM (not SIGKILL) mid-stream: the drain path itself must leave a
     checkpoint precise enough that a resumed server replays zero points."""
