@@ -13,6 +13,9 @@ Commands:
   ingest throughput and query-latency percentiles.
 - ``tail`` — follow a tenant's evolution journal over ``SUBSCRIBE``,
   printing one CDC record per line.
+- ``fuzz`` — seeded differential fuzzing: adversarial streams through every
+  backend under the oracle matrix, shrinking failures to replayable case
+  files (see docs/testing.md).
 
 ``cluster`` can run resiliently: ``--checkpoint-dir`` turns on durable
 checkpoints every ``--checkpoint-every`` strides, ``--resume`` continues a
@@ -66,6 +69,11 @@ from repro.window.sliding import SlidingWindow
 #: Exit code for an injected chaos kill, distinct from ordinary failures so
 #: recovery drills can assert the crash happened as planned.
 EXIT_CHAOS = 3
+
+#: Exit code when the fuzzer finds an oracle violation, distinct from usage
+#: errors so CI can tell "bug found" (collect the case artifact) from
+#: "harness misconfigured".
+EXIT_FUZZ = 4
 
 METHODS = ("disc", "incdbscan", "extran", "dbscan", "rho2", "dbstream", "edmstream")
 
@@ -351,6 +359,68 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadgen.add_argument("--seed", type=int, default=0)
     loadgen.add_argument("--json", help="also write the full report as JSON here")
+
+    fuzz = commands.add_parser(
+        "fuzz",
+        help="seeded differential fuzzing over every index backend: "
+        "adversarial streams checked against the oracle matrix, failures "
+        "shrunk to replayable case files (see docs/testing.md)",
+    )
+    fuzz.add_argument(
+        "--seed",
+        type=int,
+        action="append",
+        metavar="N",
+        help="master seed to fuzz (repeatable; deterministic per seed)",
+    )
+    fuzz.add_argument(
+        "--budget",
+        type=float,
+        metavar="MINUTES",
+        help="draw fresh seeds until this wall-clock budget is spent "
+        "(the nightly CI mode)",
+    )
+    fuzz.add_argument(
+        "--start-seed",
+        type=int,
+        default=0,
+        help="first seed of a --budget run (default: 0)",
+    )
+    fuzz.add_argument(
+        "--replay",
+        action="append",
+        metavar="CASE",
+        help="re-run a saved case file instead of generating scenarios "
+        "(repeatable; clean exit means the bug stays fixed)",
+    )
+    fuzz.add_argument(
+        "--backends",
+        help="comma-separated index backends (default: all registered)",
+    )
+    fuzz.add_argument(
+        "--oracles",
+        help="comma-separated oracle names (default: all)",
+    )
+    fuzz.add_argument(
+        "--scenarios",
+        type=int,
+        default=None,
+        metavar="N",
+        help="scenarios derived per seed (default: 3)",
+    )
+    fuzz.add_argument(
+        "--out",
+        metavar="DIR",
+        help="directory for shrunk case files (omit to skip writing cases)",
+    )
+    fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report failures without minimizing the failing stream",
+    )
+    fuzz.add_argument(
+        "--json", help="also write the full report as JSON here"
+    )
 
     tail = commands.add_parser(
         "tail",
@@ -643,6 +713,65 @@ def cmd_loadgen(args) -> int:
     return loadgen_main(args)
 
 
+def cmd_fuzz(args) -> int:
+    """Differential fuzzing: exit 0 clean, EXIT_FUZZ on an oracle violation."""
+    import json
+
+    from repro.fuzz import replay_case, run_budget, run_fuzz
+    from repro.fuzz.harness import SCENARIOS_PER_SEED
+
+    modes = sum(
+        1 for flag in (args.seed, args.budget, args.replay) if flag
+    )
+    if modes != 1:
+        print(
+            "pick exactly one of --seed, --budget, or --replay",
+            file=sys.stderr,
+        )
+        return 1
+    backends = args.backends.split(",") if args.backends else None
+    oracles = args.oracles.split(",") if args.oracles else None
+    scenarios = (
+        args.scenarios if args.scenarios is not None else SCENARIOS_PER_SEED
+    )
+    try:
+        if args.replay:
+            from repro.fuzz.harness import FuzzReport
+
+            report = FuzzReport()
+            for path in args.replay:
+                report.merge(
+                    replay_case(path, backends=backends, oracles=oracles)
+                )
+        elif args.budget is not None:
+            report = run_budget(
+                args.budget,
+                start_seed=args.start_seed,
+                backends=backends,
+                oracles=oracles,
+                scenarios_per_seed=scenarios,
+                out_dir=args.out,
+            )
+        else:
+            report = run_fuzz(
+                args.seed,
+                backends=backends,
+                oracles=oracles,
+                scenarios_per_seed=scenarios,
+                out_dir=args.out,
+                do_shrink=not args.no_shrink,
+            )
+    except (ReproError, KeyError, OSError) as exc:
+        print(f"fuzz error: {exc}", file=sys.stderr)
+        return 1
+    print(report.render())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.as_dict(), handle, indent=2, sort_keys=True)
+        print(f"report written to {args.json}")
+    return 0 if report.ok else EXIT_FUZZ
+
+
 def cmd_tail(args) -> int:
     """Follow a tenant's CDC journal: records to stdout, status to stderr."""
     import asyncio
@@ -704,6 +833,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": cmd_serve,
         "loadgen": cmd_loadgen,
         "tail": cmd_tail,
+        "fuzz": cmd_fuzz,
     }
     return handlers[args.command](args)
 

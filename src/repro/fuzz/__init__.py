@@ -1,0 +1,47 @@
+"""Deterministic differential fuzzing for the DISC pipeline.
+
+DISC's value proposition is Theorem 1: strided incremental maintenance is
+*exactly* equivalent to re-clustering the window from scratch. The point
+tests assert that on streams a human thought of; this package is the
+machine that imagines the streams a human did not — timestamp ties, points
+at exactly ``eps``, burst/eviction cliffs, empty and singleton strides,
+pid reuse after expiry, merge/split chains — and checks every one against
+an oracle matrix (fresh-DBSCAN equivalence, permutation invariance,
+kill/resume byte-identity, serve-vs-offline equality, ``AS_OF`` time
+travel).
+
+Everything is seeded and fully deterministic: the same integer seed always
+produces the same scenarios, the same oracle verdicts, and — when a check
+fails — the same shrunk, replayable case file.
+
+Entry points:
+
+- :func:`repro.fuzz.scenarios.generate_scenario` — one adversarial stream
+  from one seed.
+- :func:`repro.fuzz.harness.run_fuzz` — the seed × scenario × backend ×
+  oracle sweep, with shrinking on failure.
+- :func:`repro.fuzz.harness.replay_case` — re-run a committed case file
+  (``tests/corpus/`` replays these in tier-1).
+- ``repro fuzz`` — the CLI wrapper (``--seed`` / ``--budget`` /
+  ``--replay``).
+"""
+
+from repro.fuzz.harness import FuzzReport, fuzz_seed, replay_case, run_budget, run_fuzz
+from repro.fuzz.oracles import ORACLES, OracleFailure
+from repro.fuzz.scenarios import Scenario, generate_scenario, load_case, save_case
+from repro.fuzz.shrink import shrink
+
+__all__ = [
+    "FuzzReport",
+    "ORACLES",
+    "OracleFailure",
+    "Scenario",
+    "fuzz_seed",
+    "generate_scenario",
+    "load_case",
+    "replay_case",
+    "run_budget",
+    "run_fuzz",
+    "save_case",
+    "shrink",
+]

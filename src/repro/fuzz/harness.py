@@ -1,0 +1,293 @@
+"""The fuzz driver: seeds → scenarios → oracle matrix → shrink → case files.
+
+:func:`fuzz_seed` is the unit of work: derive a few scenarios from one
+integer seed, run each through every requested backend × oracle, and — when
+a check fails — shrink the stream with :func:`repro.fuzz.shrink.shrink` and
+write a replayable case file. :func:`run_fuzz` sweeps a seed list,
+:func:`run_budget` keeps drawing fresh seeds until a wall-clock budget runs
+out (the nightly CI job), and :func:`replay_case` re-runs a committed case
+file — the tier-1 corpus test replays ``tests/corpus/`` this way, so every
+past failure stays a regression guard.
+
+Everything except :func:`run_budget` is deterministic: a
+:class:`FuzzReport`'s rendered text contains no timings or paths outside
+``out_dir``, so ``repro fuzz --seed N`` twice produces byte-identical
+output (CI diffs the two runs to prove it).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.fuzz.oracles import ORACLES, OracleFailure
+from repro.fuzz.scenarios import (
+    Scenario,
+    load_case,
+    save_case,
+    scenarios_from_seed,
+)
+from repro.fuzz.shrink import shrink
+from repro.index.registry import available_indexes
+
+#: Scenarios derived per seed by default.
+SCENARIOS_PER_SEED = 3
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzz invocation (seed sweep, budget run, or replay)."""
+
+    seeds: list[int] = field(default_factory=list)
+    scenarios: int = 0
+    checks: int = 0
+    failures: list[OracleFailure] = field(default_factory=list)
+    cases: list[str] = field(default_factory=list)
+    lines: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def merge(self, other: "FuzzReport") -> None:
+        self.seeds.extend(s for s in other.seeds if s not in self.seeds)
+        self.scenarios += other.scenarios
+        self.checks += other.checks
+        self.failures.extend(other.failures)
+        self.cases.extend(other.cases)
+        self.lines.extend(other.lines)
+
+    def render(self) -> str:
+        """The harness's stdout: deterministic for a fixed seed + config."""
+        tail = (
+            f"fuzz: {self.checks} checks over {self.scenarios} scenario(s), "
+            f"{len(self.failures)} failure(s)"
+        )
+        return "\n".join([*self.lines, tail])
+
+    def as_dict(self) -> dict:
+        return {
+            "seeds": list(self.seeds),
+            "scenarios": self.scenarios,
+            "checks": self.checks,
+            "ok": self.ok,
+            "failures": [
+                {
+                    "oracle": f.oracle,
+                    "backend": f.backend,
+                    "stride": f.stride,
+                    "detail": f.detail,
+                }
+                for f in self.failures
+            ],
+            "cases": list(self.cases),
+        }
+
+
+def _resolve(backends, oracles) -> tuple[list[str], list[str]]:
+    backends = list(backends) if backends else list(available_indexes())
+    oracles = list(oracles) if oracles else list(ORACLES)
+    unknown = [name for name in oracles if name not in ORACLES]
+    if unknown:
+        raise KeyError(
+            f"unknown oracle(s) {unknown}; available: {sorted(ORACLES)}"
+        )
+    return backends, oracles
+
+
+def _run_oracle(
+    oracle: str, scenario: Scenario, backend: str
+) -> list[OracleFailure]:
+    """One oracle run; an unexpected crash is itself a reportable finding."""
+    try:
+        return ORACLES[oracle](scenario, backend)
+    except Exception as exc:  # noqa: BLE001 - the fuzzer reports, never dies
+        return [
+            OracleFailure(
+                oracle, backend, None, f"crashed: {type(exc).__name__}: {exc}"
+            )
+        ]
+
+
+def check_scenario(
+    scenario: Scenario,
+    *,
+    backends=None,
+    oracles=None,
+) -> tuple[list[OracleFailure], int]:
+    """Run the full oracle matrix over one scenario.
+
+    Returns ``(failures, checks_run)``. Stops a backend's column at its
+    first failing oracle (later oracles on a broken backend only repeat
+    the noise), but always covers every backend.
+    """
+    backends, oracles = _resolve(backends, oracles)
+    failures: list[OracleFailure] = []
+    checks = 0
+    for backend in backends:
+        for oracle in oracles:
+            checks += 1
+            found = _run_oracle(oracle, scenario, backend)
+            if found:
+                failures.extend(found)
+                break
+    return failures, checks
+
+
+def fuzz_seed(
+    seed: int,
+    *,
+    backends=None,
+    oracles=None,
+    scenarios_per_seed: int = SCENARIOS_PER_SEED,
+    out_dir: str | Path | None = None,
+    do_shrink: bool = True,
+) -> FuzzReport:
+    """Fuzz every scenario derived from one master seed.
+
+    Failures are shrunk (first failing check per scenario) and saved as
+    case files under ``out_dir`` when one is given.
+    """
+    backends, oracles = _resolve(backends, oracles)
+    report = FuzzReport(seeds=[seed])
+    report.lines.append(
+        f"fuzz: seed {seed} -> {scenarios_per_seed} scenario(s) x "
+        f"{len(backends)} backend(s) x {len(oracles)} oracle(s)"
+    )
+    for scenario in scenarios_from_seed(seed, scenarios_per_seed):
+        report.scenarios += 1
+        failures, checks = check_scenario(
+            scenario, backends=backends, oracles=oracles
+        )
+        report.checks += checks
+        if not failures:
+            report.lines.append(f"  {scenario.describe()}: ok")
+            continue
+        report.failures.extend(failures)
+        report.lines.append(f"  {scenario.describe()}: FAIL")
+        for failure in failures:
+            report.lines.append(f"    {failure.describe()}")
+        first = failures[0]
+        if do_shrink:
+            shrunk = shrink(
+                scenario,
+                lambda cand: bool(
+                    _run_oracle(first.oracle, cand, first.backend)
+                ),
+            )
+            report.lines.append(
+                f"    shrunk {len(scenario.points)} -> "
+                f"{len(shrunk.points)} points"
+            )
+        else:
+            shrunk = scenario
+        if out_dir is not None:
+            path = save_case(
+                Path(out_dir)
+                / f"case-{shrunk.name}-{first.oracle}-{first.backend}.jsonl",
+                shrunk,
+                meta={
+                    "oracle": first.oracle,
+                    "backend": first.backend,
+                    "stride": first.stride,
+                    "detail": first.detail,
+                    "original_points": len(scenario.points),
+                },
+            )
+            report.cases.append(str(path))
+            report.lines.append(f"    case written: {path}")
+    return report
+
+
+def run_fuzz(
+    seeds,
+    *,
+    backends=None,
+    oracles=None,
+    scenarios_per_seed: int = SCENARIOS_PER_SEED,
+    out_dir: str | Path | None = None,
+    do_shrink: bool = True,
+) -> FuzzReport:
+    """Sweep a list of master seeds; aggregate one report."""
+    report = FuzzReport()
+    for seed in seeds:
+        report.merge(
+            fuzz_seed(
+                int(seed),
+                backends=backends,
+                oracles=oracles,
+                scenarios_per_seed=scenarios_per_seed,
+                out_dir=out_dir,
+                do_shrink=do_shrink,
+            )
+        )
+    return report
+
+
+def run_budget(
+    minutes: float,
+    *,
+    start_seed: int = 0,
+    backends=None,
+    oracles=None,
+    scenarios_per_seed: int = SCENARIOS_PER_SEED,
+    out_dir: str | Path | None = None,
+    stop_on_failure: bool = True,
+) -> FuzzReport:
+    """Draw fresh seeds until the wall-clock budget is spent (nightly CI).
+
+    Seeds are consumed in order from ``start_seed``, so a budget run's
+    *findings* are reproducible with ``repro fuzz --seed`` even though how
+    far it gets is not. Stops early at the first failing seed by default —
+    the shrunk case file is the artifact the nightly job uploads.
+    """
+    deadline = time.monotonic() + minutes * 60.0
+    report = FuzzReport()
+    seed = start_seed
+    while time.monotonic() < deadline:
+        report.merge(
+            fuzz_seed(
+                seed,
+                backends=backends,
+                oracles=oracles,
+                scenarios_per_seed=scenarios_per_seed,
+                out_dir=out_dir,
+            )
+        )
+        if stop_on_failure and not report.ok:
+            break
+        seed += 1
+    report.lines.append(f"fuzz: budget spent after seed(s) {start_seed}..{seed}")
+    return report
+
+
+def replay_case(
+    path: str | Path,
+    *,
+    backends=None,
+    oracles=None,
+) -> FuzzReport:
+    """Re-run a saved case file; a clean report means the bug stays fixed.
+
+    When the case records the oracle/backend that minted it (they all do),
+    only that pair is replayed — the corpus stays fast enough for tier-1 —
+    unless the caller overrides ``backends``/``oracles``.
+    """
+    scenario, meta = load_case(path)
+    if oracles is None and meta.get("oracle") in ORACLES:
+        oracles = [meta["oracle"]]
+    if backends is None and meta.get("backend") in available_indexes():
+        backends = [meta["backend"]]
+    report = FuzzReport(scenarios=1)
+    report.lines.append(f"replay: {Path(path).name} ({scenario.describe()})")
+    failures, checks = check_scenario(
+        scenario, backends=backends, oracles=oracles
+    )
+    report.checks = checks
+    report.failures = failures
+    for failure in failures:
+        report.lines.append(f"  {failure.describe()}")
+    if not failures:
+        report.lines.append("  ok")
+    return report

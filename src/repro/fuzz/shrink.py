@@ -1,0 +1,111 @@
+"""Delta-debugging shrinker: minimize a failing stream to a tiny case.
+
+Classic ddmin over the scenario's point list: try dropping contiguous
+chunks (half the stream, then quarters, … down to single points), keeping
+any cut after which the predicate still fails, and restarting at coarse
+granularity after progress. A second pass minimizes the probe list the
+same way (only the classify oracle reads probes, but a one-probe case file
+is easier to stare at either way).
+
+The predicate receives a candidate :class:`~repro.fuzz.scenarios.Scenario`
+and returns ``True`` when the original failure still reproduces. A
+predicate that *raises* counts as not-reproducing: a cut that turns the
+failure into a different crash (say, a pid-reuse
+:class:`~repro.common.errors.StreamOrderError` once the first life of the
+pid was removed) must not be kept, or the shrunk case would no longer
+witness the bug it was filed for.
+
+Everything is deterministic and bounded: the sweep order is fixed and
+``max_evals`` caps predicate runs, so the same failing scenario always
+shrinks to the same case in the same time.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import replace
+
+from repro.fuzz.scenarios import Scenario
+
+
+def shrink(
+    scenario: Scenario,
+    predicate: Callable[[Scenario], bool],
+    *,
+    max_evals: int = 400,
+) -> Scenario:
+    """Smallest scenario (fewest points, then fewest probes) still failing.
+
+    Args:
+        scenario: the failing input (assumed to satisfy ``predicate``).
+        predicate: ``True`` when a candidate still reproduces the failure.
+        max_evals: hard cap on predicate evaluations.
+
+    Returns:
+        The minimized scenario — ``scenario`` itself when nothing could be
+        removed within the budget.
+    """
+    budget = _Budget(predicate, max_evals)
+    points = _ddmin(
+        list(scenario.points),
+        lambda pts: budget.holds(scenario.with_points(pts)),
+    )
+    shrunk = scenario.with_points(points)
+    probes = _minimal_probes(shrunk, budget)
+    return replace(shrunk, probes=probes, name=f"{scenario.name}-shrunk")
+
+
+class _Budget:
+    """Predicate wrapper: counts evaluations, absorbs crashes as False."""
+
+    def __init__(self, predicate: Callable[[Scenario], bool], max_evals: int):
+        self.predicate = predicate
+        self.max_evals = max_evals
+        self.evals = 0
+
+    def holds(self, candidate: Scenario) -> bool:
+        if self.evals >= self.max_evals:
+            return False
+        self.evals += 1
+        try:
+            return bool(self.predicate(candidate))
+        except Exception:  # noqa: BLE001 - a new crash is a different bug
+            return False
+
+
+def _ddmin(items: list, holds: Callable[[list], bool]) -> list:
+    """Minimize ``items`` under ``holds`` by chunked removal."""
+    chunk = max(1, len(items) // 2)
+    while chunk >= 1:
+        removed = False
+        i = 0
+        while i < len(items):
+            candidate = items[:i] + items[i + chunk :]
+            if candidate != items and holds(candidate):
+                items = candidate
+                removed = True
+                # Keep scanning at the same offset: the next chunk shifted
+                # into place.
+            else:
+                i += chunk
+        if removed and chunk > 1:
+            chunk = max(1, len(items) // 2)  # restart coarse after progress
+        elif chunk == 1 and removed:
+            continue  # sweep singles until a full pass removes nothing
+        else:
+            chunk //= 2
+    return items
+
+
+def _minimal_probes(scenario: Scenario, budget: _Budget) -> list:
+    """Fewest probes that keep the failure alive (1, usually)."""
+    if len(scenario.probes) <= 1:
+        return list(scenario.probes)
+    for probe in scenario.probes:
+        if budget.holds(replace(scenario, probes=[probe])):
+            return [probe]
+    probes = _ddmin(
+        list(scenario.probes),
+        lambda ps: budget.holds(replace(scenario, probes=list(ps))),
+    )
+    return probes

@@ -108,10 +108,19 @@ class StrideTrace:
 
 
 def percentile(values, q: float) -> float:
-    """Nearest-rank percentile (q in [0, 100]) of a non-empty sequence."""
+    """Linearly interpolated percentile (q in [0, 100]) of a non-empty
+    sequence — numpy's default method.
+
+    Nearest-rank made every p95 on fewer than 20 samples *the maximum*,
+    so a single outlier stride dominated the loadgen/trace latency
+    summaries of short runs. Interpolation degrades gracefully: p95 of
+    two samples is 0.95 of the way between them, not the larger one.
+    """
     ordered = sorted(values)
-    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
-    return ordered[rank - 1]
+    h = (len(ordered) - 1) * q / 100.0
+    lo = math.floor(h)
+    hi = min(lo + 1, len(ordered) - 1)
+    return ordered[lo] + (ordered[hi] - ordered[lo]) * (h - lo)
 
 
 class TraceAggregate:

@@ -102,6 +102,32 @@ class ChaosMonkey(RuntimeHooks):
             )
 
 
+def enumerate_fault_points(
+    n_strides: int, checkpoint_every: int
+) -> list[dict[str, int]]:
+    """Every distinct :class:`ChaosMonkey` kill site of an ``n_strides`` run.
+
+    Returns one kwargs dict per site, in boundary order: a
+    ``kill_before_stride`` for every stride boundary after the first (a
+    kill before stride 0 never starts the run, so it proves nothing), and
+    a ``kill_after_checkpoint`` for every checkpoint the run would take
+    under ``checkpoint_every`` — the state-persisted/progress-lost worst
+    case. The fuzz harness samples these; exhaustive sweeps (the recovery
+    tests) iterate them all.
+    """
+    if n_strides < 1:
+        return []
+    points: list[dict[str, int]] = [
+        {"kill_before_stride": stride} for stride in range(1, n_strides)
+    ]
+    if checkpoint_every >= 1:
+        points.extend(
+            {"kill_after_checkpoint": stride}
+            for stride in range(checkpoint_every, n_strides + 1, checkpoint_every)
+        )
+    return points
+
+
 def corrupt_checkpoint(path: str | os.PathLike, offset: int = -20) -> None:
     """Flip one byte of a checkpoint file, in place.
 

@@ -172,25 +172,27 @@ class SessionView:
 
         The DBSCAN assignment rule for a hypothetical arrival: a point
         within ``eps`` of a core belongs to that core's cluster (nearest
-        core wins here, making the answer deterministic); otherwise it is
-        noise. The scan is linear over the core set — see
-        ``docs/serving.md`` for capacity notes.
+        core wins; exact distance ties break to the lowest cluster label,
+        then the lowest core pid, so the answer never depends on the order
+        the core set is iterated in); otherwise it is noise. The scan is
+        linear over the core set — see ``docs/serving.md`` for capacity
+        notes.
         """
-        best_pid = None
-        best_label = Clustering.NOISE_ID
-        best_sq = None
+        best: tuple[float, int, int] | None = None  # (sq, label, pid)
         eps_sq = self.eps * self.eps
         for pid, core_coords, label in self.cores:
             if len(core_coords) != len(coords):
                 continue
             sq = squared_distance(coords, core_coords)
-            if sq <= eps_sq and (best_sq is None or sq < best_sq):
-                best_pid, best_label, best_sq = pid, label, sq
+            if sq <= eps_sq:
+                key = (sq, label, pid)
+                if best is None or key < best:
+                    best = key
         return {
             "stride": self.stride,
-            "label": best_label,
-            "nearest_core": best_pid,
-            "distance": None if best_sq is None else math.sqrt(best_sq),
+            "label": Clustering.NOISE_ID if best is None else best[1],
+            "nearest_core": None if best is None else best[2],
+            "distance": None if best is None else math.sqrt(best[0]),
         }
 
     def snapshot_payload(self) -> dict:
@@ -303,6 +305,7 @@ class TenantSession:
         self.restarts = 0  # supervised restarts of this tenant (service-set)
         self.wal_error: str | None = None  # last journalling failure, if any
         self.journal_error: str | None = None  # last CDC/archive failure
+        self.journal_floor_pinned: str | None = None  # why floor < retention cut
         self.crashed = asyncio.Event()  # unexpected writer death (supervision)
         self.replay_offset = 0  # prefix length a resume asked us to swallow
         self._skip = 0  # replay prefix still to swallow (resume)
@@ -570,9 +573,9 @@ class TenantSession:
         arena = state.columnar() if hasattr(state, "columnar") else None
         if arena is not None:
             # Columnar fast path: one masked slice instead of a per-record
-            # scan. live_slots() keeps insertion order, so the cores tuple is
-            # ordered exactly like the record-dict iteration below — the
-            # classify() nearest-core tie-break depends on it.
+            # scan. The cores tuple's order is irrelevant to readers —
+            # classify() breaks ties by (distance, label, pid), not by
+            # iteration order.
             slots = arena.live_slots()
             mask = (arena.n_eps[slots] >= state.params.tau) & (
                 arena.cid[slots] != NO_ID
@@ -638,17 +641,58 @@ class TenantSession:
         cuts past the newest archive snapshot still needed to answer
         ``AS_OF`` at the retention floor (delta replay starts from a
         snapshot at or before the asked stride).
+
+        When the archive has no snapshot at or before the retention cut —
+        a replay-only archive (``archive_every=0``), or a snapshot cadence
+        coarser than the retention window — compaction still advances to
+        the newest *answerable* stride (the floor every retained ``AS_OF``
+        can already be served from) instead of pinning the floor at 0 and
+        letting the journal grow without bound; the reason the floor lags
+        the retention cut is surfaced in ``STATS``.
         """
         evjournal = self.evjournal
         retention = self.config.journal_retention
         if evjournal is None or retention <= 0:
             return
         upto = stride - retention
+        answerable = upto
+        reason = None
         if self.archive is not None:
             snap = self.archive.latest_at_or_before(upto)
-            upto = min(upto, snap + 1 if snap is not None else 0)
-        if upto > 0:
-            evjournal.compact(upto)
+            if snap is not None:
+                # Delta replay for AS_OF(upto) starts at snap: history in
+                # [snap+1, upto) stays needed, everything older does not.
+                answerable = min(upto, snap + 1)
+                if answerable < upto:
+                    reason = (
+                        f"archive cadence {self.archive.every} > retention "
+                        f"{retention}: the newest snapshot at or before the "
+                        f"retention cut {upto} is stride {snap}, so the "
+                        f"floor holds at {answerable} until the next "
+                        "snapshot crosses the cut"
+                    )
+            else:
+                # No snapshot at or before the cut at all. With a
+                # replay-only archive (archive_every=0) every AS_OF
+                # materializes by replaying from stride 0, so no prefix is
+                # ever cuttable; with a snapshotting archive this means
+                # even the stride-0 snapshot is missing — equally nothing
+                # to stand a delta replay on. Either way AS_OF coverage
+                # wins over retention: compact only what is already gone.
+                answerable = min(upto, evjournal.floor)
+                if answerable < upto:
+                    reason = (
+                        "replay-only archive (archive_every=0): AS_OF "
+                        "replays the journal from stride 0, so retention "
+                        f"cannot advance the floor past {evjournal.floor}"
+                        if self.archive.every <= 0
+                        else f"no archive snapshot at or before the "
+                        f"retention cut {upto}; the floor holds at "
+                        f"{evjournal.floor}"
+                    )
+        self.journal_floor_pinned = reason
+        if answerable > 0:
+            evjournal.compact(answerable)
 
     def _take_pending(self) -> list[dict]:
         """Freshly journaled records, committed (fsync policy) for push."""
@@ -818,6 +862,8 @@ class TenantSession:
                 "floor": self.evjournal.floor,
                 "subscribers": len(self._subscribers),
             }
+            if self.journal_floor_pinned is not None:
+                payload["journal"]["floor_pinned"] = self.journal_floor_pinned
             if self.journal_error is not None:
                 payload["journal_error"] = self.journal_error
         if self.archive is not None:

@@ -1,0 +1,58 @@
+"""Tier-1 corpus replay: every committed case must stay green.
+
+``tests/corpus/`` holds two kinds of JSONL case files (see
+docs/testing.md):
+
+- **shrunk findings** — minimized streams that once exposed a real bug
+  (e.g. the ``classify`` tie-break); a clean replay proves the bug stays
+  fixed;
+- **anchors** — hand-picked generated scenarios pinned against one
+  oracle × backend pair each, covering both window kinds and the
+  adversarial stream features.
+
+Adding a case is just dropping the file here — this test discovers them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import replay_case
+from repro.fuzz.scenarios import load_case
+
+CORPUS = Path(__file__).parent / "corpus"
+CASES = sorted(CORPUS.glob("*.jsonl"))
+
+
+def case_id(path: Path) -> str:
+    return path.stem.removeprefix("case-")
+
+
+def test_corpus_is_not_empty():
+    assert CASES, "tests/corpus/ must ship at least the shrunk findings"
+
+
+@pytest.mark.parametrize("path", CASES, ids=case_id)
+def test_case_replays_clean(path):
+    report = replay_case(path)
+    assert report.ok, "\n" + report.render()
+    assert report.checks >= 1
+
+
+@pytest.mark.parametrize("path", CASES, ids=case_id)
+def test_case_records_its_oracle(path):
+    scenario, meta = load_case(path)
+    assert scenario.points
+    assert meta.get("oracle"), "cases must pin the oracle that minted them"
+    assert meta.get("backend")
+
+
+def test_shrunk_findings_are_minimal():
+    shrunk = [p for p in CASES if "-shrunk-" in p.name]
+    assert shrunk, "the classify tie-break findings must stay committed"
+    for path in shrunk:
+        scenario, meta = load_case(path)
+        assert len(scenario.points) <= 20
+        assert meta["original_points"] > len(scenario.points)

@@ -47,14 +47,38 @@ def traced_run(seed=1, n=240, spec=WindowSpec(80, 20), **disc_kwargs):
 
 class TestPercentile:
     def test_single_value(self):
+        assert percentile([3.0], 0) == 3.0
         assert percentile([3.0], 50) == 3.0
         assert percentile([3.0], 95) == 3.0
+        assert percentile([3.0], 100) == 3.0
 
-    def test_nearest_rank(self):
+    def test_two_values_interpolate(self):
+        # p50 of two samples is their midpoint, p95 is 95% of the way up —
+        # not simply the max, which is what nearest-rank degenerated to.
+        assert percentile([10.0, 20.0], 0) == 10.0
+        assert percentile([10.0, 20.0], 50) == 15.0
+        assert percentile([10.0, 20.0], 95) == pytest.approx(19.5)
+        assert percentile([10.0, 20.0], 100) == 20.0
+
+    def test_interpolated_ranks(self):
         values = list(range(1, 101))  # 1..100
-        assert percentile(values, 50) == 50
-        assert percentile(values, 95) == 95
+        assert percentile(values, 50) == pytest.approx(50.5)
+        assert percentile(values, 95) == pytest.approx(95.05)
         assert percentile(values, 100) == 100
+
+    def test_p95_on_tiny_sample_is_not_the_max(self):
+        # The loadgen regression: with < 20 strides, nearest-rank p95 was
+        # always the maximum, so one outlier stride defined the report.
+        values = [1.0] * 9 + [100.0]
+        assert percentile(values, 95) < 100.0
+        assert percentile(values, 95) > 1.0
+        assert percentile(values, 50) == 1.0
+
+    def test_matches_numpy_linear_method(self):
+        values = [2.0, 4.0, 8.0, 16.0]
+        # numpy.percentile(values, q) reference values (linear method).
+        assert percentile(values, 25) == pytest.approx(3.5)
+        assert percentile(values, 75) == pytest.approx(10.0)
 
     def test_input_order_irrelevant(self):
         assert percentile([5.0, 1.0, 3.0], 50) == 3.0

@@ -161,6 +161,85 @@ class TestAsOf:
             archive.as_of(stride=1, time=1.0)
 
 
+class TestStrideAtTimeBoundaries:
+    """The at-or-before contract of time-travel resolution, edge by edge.
+
+    ``stride_at_time`` answers "what did the pipeline know at time t":
+    the *newest* retained stride whose closing stamp is ``<= t``. These
+    tests pin the boundaries — exact hit, duplicate stamps, midpoints,
+    pre-floor times, unstamped records — on a hand-built journal where
+    every stamp is chosen, not emergent.
+    """
+
+    @staticmethod
+    def journal_with_stamps(tmp_path, stamps):
+        journal = EvolutionJournal(tmp_path / "stamps")
+        for stride, stamp in enumerate(stamps):
+            journal.publish({"stride": stride, "time": stamp})
+        journal.commit()
+        return journal
+
+    def test_exact_stamp_resolves_to_that_stride(self, tmp_path):
+        journal = self.journal_with_stamps(tmp_path, [10.0, 20.0, 30.0])
+        assert stride_at_time(journal, 10.0) == 0
+        assert stride_at_time(journal, 20.0) == 1
+        assert stride_at_time(journal, 30.0) == 2
+
+    def test_between_stamps_resolves_to_the_earlier_stride(self, tmp_path):
+        journal = self.journal_with_stamps(tmp_path, [10.0, 20.0, 30.0])
+        assert stride_at_time(journal, 19.999) == 0
+        assert stride_at_time(journal, 20.001) == 1
+        assert stride_at_time(journal, 1e9) == 2  # far future: newest
+
+    def test_duplicate_stamps_resolve_to_the_newest_stride(self, tmp_path):
+        # Strides 1 and 2 closed at the same instant (e.g. a burst of
+        # identical timestamps under a time-based window): AS_OF must
+        # answer with the newest knowledge at that instant.
+        journal = self.journal_with_stamps(tmp_path, [10.0, 20.0, 20.0, 30.0])
+        assert stride_at_time(journal, 20.0) == 2
+        assert stride_at_time(journal, 25.0) == 2
+
+    def test_time_before_every_stamp_is_none(self, tmp_path):
+        journal = self.journal_with_stamps(tmp_path, [10.0, 20.0])
+        assert stride_at_time(journal, 9.999) is None
+
+    def test_unstamped_records_are_skipped(self, tmp_path):
+        journal = self.journal_with_stamps(tmp_path, [10.0, None, 30.0])
+        # Stride 1 carries no stamp: it is invisible to time resolution,
+        # not a barrier to it.
+        assert stride_at_time(journal, 15.0) == 0
+        assert stride_at_time(journal, 30.0) == 2
+
+    def test_compaction_moves_the_answerable_floor(self, tmp_path):
+        # One record per segment (segment_bytes=1) so compaction really
+        # drops strides 0 and 1 instead of keeping their shared segment.
+        journal = EvolutionJournal(tmp_path / "stamps", segment_bytes=1)
+        for stride, stamp in enumerate([10.0, 20.0, 30.0, 40.0]):
+            journal.publish({"stride": stride, "time": stamp})
+        journal.commit()
+        journal.compact(2)
+        assert journal.floor == 2
+        # Times at or past the floor's stamp still resolve…
+        assert stride_at_time(journal, 30.0) == 2
+        assert stride_at_time(journal, 45.0) == 3
+        # …but a time covered only by compacted strides predates retained
+        # history now: None, never a stale (dropped) stride index.
+        assert stride_at_time(journal, 15.0) is None
+
+    def test_as_of_time_at_exact_and_duplicate_stamps(self, history):
+        journal, archive, states = history
+        records = journal.read(0)
+        # Every retained record's exact stamp answers with that stride (or
+        # the newest stride sharing the stamp).
+        for record in records[:-1]:
+            stamp = record["time"]
+            newest = max(
+                r["stride"] for r in records if r["time"] == stamp
+            )
+            if newest < len(states) - 1:
+                assert archive.as_of(time=stamp)["stride"] == newest
+
+
 class TestCorruption:
     def test_crc_mismatch_is_detected(self, tmp_path):
         points = clustered_stream(36, 240)

@@ -8,13 +8,18 @@ same post-admission point sequence (the session journal).
 from __future__ import annotations
 
 import asyncio
+import itertools
 
 import pytest
 
 from repro.api import cluster_stream
 from repro.common.config import WindowSpec
+from repro.common.snapshot import Clustering
 from repro.datasets.io import MalformedRecord
+from repro.query.archive import SnapshotArchive
+from repro.query.journal import EvolutionJournal
 from repro.serve import ServeError, SessionConfig, TenantSession
+from repro.serve.session import SessionView
 
 from .conftest import clustered_stream
 
@@ -148,6 +153,153 @@ class TestViews:
         result = views[-1].classify((1e6, 1e6))
         assert result["label"] == -1
         assert result["nearest_core"] is None
+
+
+def make_view(cores, eps=1.5) -> SessionView:
+    return SessionView(0, Clustering({}, {}), eps, tuple(cores))
+
+
+class TestClassifyTieBreak:
+    """Regression: classify() must not depend on core iteration order.
+
+    Pre-fix, an exact-distance tie went to whichever core the tuple
+    happened to list first — and the tuple's order tracked the clusterer's
+    internal iteration order, so two equivalent states could answer the
+    same probe differently. The contract now: nearest core wins; exact
+    ties break to the lowest cluster label, then the lowest core pid.
+    """
+
+    TIED = [(7, (0.0, 0.0), 5), (2, (2.0, 0.0), 3)]  # probe (1,0): both at 1.0
+
+    def test_exact_tie_breaks_to_lowest_label_in_any_order(self):
+        # Fails pre-fix: the given order answered label 5, reversed
+        # answered label 3.
+        for order in itertools.permutations(self.TIED):
+            answer = make_view(order).classify((1.0, 0.0))
+            assert answer["label"] == 3
+            assert answer["nearest_core"] == 2
+            assert answer["distance"] == 1.0
+
+    def test_label_tie_breaks_to_lowest_pid(self):
+        cores = [(9, (0.0, 0.0), 4), (4, (2.0, 0.0), 4)]
+        for order in itertools.permutations(cores):
+            answer = make_view(order).classify((1.0, 0.0))
+            assert answer["nearest_core"] == 4
+
+    def test_distance_still_dominates_the_tie_break(self):
+        # A strictly nearer core beats any label/pid preference.
+        cores = [(1, (0.0, 0.0), 1), (2, (1.25, 0.0), 9)]
+        answer = make_view(cores).classify((1.0, 0.0))
+        assert answer["label"] == 9
+        assert answer["nearest_core"] == 2
+
+    def test_order_invariance_under_many_permutations(self):
+        cores = [
+            (11, (0.0, 0.0), 2),
+            (5, (2.0, 0.0), 8),
+            (3, (1.0, 1.0), 8),
+            (8, (1.0, -1.0), 2),
+        ]
+        probes = [(1.0, 0.0), (0.5, 0.5), (1.0, 2.0), (9.0, 9.0)]
+        for probe in probes:
+            answers = {
+                tuple(sorted(make_view(order).classify(probe).items()))
+                for order in itertools.permutations(cores)
+            }
+            assert len(answers) == 1, f"probe {probe} is order-dependent"
+
+
+class TestJournalRetention:
+    """Regression: retention GC vs archive cadence (``_compact_journal``).
+
+    Pre-fix, a retention cut with no archive snapshot at-or-before it
+    clamped to 0 — the journal never shrank — silently. The contract now:
+    compact to the newest *answerable* stride, and when that lags the
+    retention cut, say why in STATS (``journal.floor_pinned``).
+    """
+
+    def drive(self, tmp_path, *, retention, archive_every, n=300):
+        async def scenario():
+            evjournal = EvolutionJournal(
+                tmp_path / "evj", segment_bytes=1
+            )
+            archive = SnapshotArchive(
+                tmp_path / "arch", every=archive_every, journal=evjournal
+            )
+            config = make_config(
+                journal=True,
+                journal_retention=retention,
+                archive_every=archive_every,
+                checkpoint_every=2,
+            )
+            session = TenantSession(
+                "t",
+                config,
+                store=str(tmp_path / "ckpt"),
+                evjournal=evjournal,
+                archive=archive,
+            )
+            session.start()
+            await session.offer(clustered_stream(21, n))
+            await session.drain(flush_tail=True)
+            await session.close()
+            return session, evjournal, archive
+
+        return asyncio.run(scenario())
+
+    def test_fine_cadence_advances_the_floor_unpinned(self, tmp_path):
+        # Snapshot cadence (2) <= retention (3): there is always a
+        # snapshot at or before the cut, so the floor tracks retention.
+        session, evjournal, archive = self.drive(
+            tmp_path, retention=3, archive_every=2
+        )
+        assert session.failed is None
+        assert evjournal.floor > 0
+        assert session.journal_floor_pinned is None
+        assert "floor_pinned" not in session.stats()["journal"]
+        # Everything retained is still answerable.
+        for stride in range(evjournal.floor, evjournal.head - 1):
+            assert archive.materialize(stride) is not None
+
+    def test_coarse_cadence_pins_the_floor_and_says_why(self, tmp_path):
+        # Snapshot cadence (8) > retention (2): the cut outruns the
+        # newest snapshot, so the floor holds at snapshot+1 — but it
+        # must still advance past 0, and STATS must explain the lag.
+        # 420 points = 14 strides: the final cut (>= 11) is well past the
+        # newest snapshot (8), so the pin is visible in the end state.
+        session, evjournal, archive = self.drive(
+            tmp_path, retention=2, archive_every=8, n=420
+        )
+        assert session.failed is None
+        assert evjournal.floor > 0  # pre-fix: stuck at 0 forever
+        snap = max(archive.strides())
+        assert evjournal.floor <= snap + 1
+        reason = session.stats()["journal"]["floor_pinned"]
+        assert "archive cadence 8" in reason
+        assert "retention 2" in reason
+        # The floor's stride is answerable: snapshot + delta replay.
+        assert archive.materialize(evjournal.floor) is not None
+
+    def test_replay_only_archive_never_compacts_but_reports(self, tmp_path):
+        # archive_every=0: AS_OF replays from stride 0, so no prefix is
+        # ever cuttable. Retention must not break time travel — and must
+        # not be silent about it either.
+        session, evjournal, archive = self.drive(
+            tmp_path, retention=2, archive_every=0
+        )
+        assert session.failed is None
+        assert evjournal.floor == 0
+        reason = session.stats()["journal"]["floor_pinned"]
+        assert "replay-only" in reason
+        for stride in range(evjournal.head - 1):
+            assert archive.materialize(stride) is not None
+
+    def test_no_retention_means_no_gc_and_no_pin(self, tmp_path):
+        session, evjournal, _ = self.drive(
+            tmp_path, retention=0, archive_every=2
+        )
+        assert evjournal.floor == 0
+        assert session.journal_floor_pinned is None
 
 
 class TestDrain:
